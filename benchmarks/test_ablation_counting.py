@@ -1,0 +1,70 @@
+"""Ablation: counting backends (DESIGN.md Section 5).
+
+Compares the three range-count backends on identical queries over the
+LAR-like point cloud: brute-force numpy masks, the uniform GridIndex,
+and the KD-tree.  All must agree exactly; the bench records the
+throughput ranking that justifies the KD-tree default for arbitrary
+square regions.
+"""
+
+import time
+
+import numpy as np
+from conftest import report
+
+from repro import Rect
+from repro.index import GridIndex, KDTree
+
+
+def _make_queries(lar, k=300, seed=0, min_side=0.05, max_side=0.5):
+    """Small-to-medium squares: the selective-query regime where an
+    index pays off (brute force must always scan every point)."""
+    rng = np.random.default_rng(seed)
+    centers = lar.coords[rng.choice(len(lar), size=k)]
+    sides = rng.uniform(min_side, max_side, size=k)
+    return [
+        Rect.from_center((float(cx), float(cy)), float(s))
+        for (cx, cy), s in zip(centers, sides)
+    ]
+
+
+def test_counting_backends_agree_and_rank(benchmark, lar):
+    queries = _make_queries(lar)
+    coords = lar.coords
+
+    def run():
+        tree = KDTree(coords)
+        grid = GridIndex(coords)
+        t0 = time.perf_counter()
+        brute = [int(q.contains(coords).sum()) for q in queries]
+        t_brute = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        via_tree = [tree.count(q) for q in queries]
+        t_tree = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        via_grid = [grid.count(q) for q in queries]
+        t_grid = time.perf_counter() - t0
+        return brute, via_tree, via_grid, t_brute, t_tree, t_grid
+
+    brute, via_tree, via_grid, t_brute, t_tree, t_grid = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    report(
+        "Ablation: counting backends (300 queries, 60k points)",
+        [
+            ("brute force (s)", "-", f"{t_brute:.3f}"),
+            ("KD-tree (s)", "-", f"{t_tree:.3f}"),
+            ("GridIndex (s)", "-", f"{t_grid:.3f}"),
+            (
+                "KD-tree speedup over brute",
+                ">1",
+                f"{t_brute / max(t_tree, 1e-9):.1f}x",
+            ),
+        ],
+    )
+
+    assert brute == via_tree == via_grid
+    # The point of having an index: selective queries beat a full scan.
+    # Allow slack for timer noise in shared environments.
+    assert t_tree < 1.5 * t_brute

@@ -1,0 +1,66 @@
+"""Section 4.1 dataset statistics at paper scale.
+
+Regenerates the LAR-like dataset at the paper's full size (206,418
+applications, ~50k locations) and checks its headline statistics; also
+verifies the designed statistics of the synthetic datasets.
+"""
+
+from conftest import report
+
+from repro.datasets import (
+    PAPER_N_APPLICATIONS,
+    PAPER_N_LOCATIONS,
+    generate_lar_like_paper_scale,
+    generate_semisynth,
+    generate_synth,
+    synth_split_line,
+)
+
+
+def test_lar_paper_scale_statistics(benchmark):
+    lar = benchmark.pedantic(
+        lambda: generate_lar_like_paper_scale(seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Section 4.1: LAR at paper scale",
+        [
+            ("applications N", "206,418", str(len(lar))),
+            ("granted P", "127,286", str(lar.n_positive)),
+            ("positive rate", "0.62", f"{lar.positive_rate:.3f}"),
+            ("distinct locations", "50,647",
+             str(lar.n_unique_locations())),
+        ],
+    )
+    assert len(lar) == PAPER_N_APPLICATIONS
+    assert abs(lar.positive_rate - 0.62) < 0.02
+    # Locations are a sampled subset of the tract pool.
+    assert lar.n_unique_locations() <= PAPER_N_LOCATIONS
+    assert lar.n_unique_locations() > 0.5 * PAPER_N_LOCATIONS
+
+
+def test_designed_dataset_statistics(benchmark):
+    synth, semi = benchmark.pedantic(
+        lambda: (generate_synth(seed=0), generate_semisynth(seed=0)),
+        rounds=1,
+        iterations=1,
+    )
+    mid = synth_split_line()
+    left_rate = synth.y_pred[synth.coords[:, 0] < mid].mean()
+    right_rate = synth.y_pred[synth.coords[:, 0] >= mid].mean()
+    report(
+        "Section 4.1: designed datasets",
+        [
+            ("Synth size", "10,000", str(len(synth))),
+            ("Synth left-half rate", "0.67", f"{left_rate:.2f}"),
+            ("Synth right-half rate", "0.33", f"{right_rate:.2f}"),
+            ("SemiSynth size", "10,000", str(len(semi))),
+            ("SemiSynth rate", "0.50", f"{semi.positive_rate:.2f}"),
+        ],
+    )
+    assert len(synth) == 10_000
+    assert len(semi) == 10_000
+    assert abs(left_rate - 2 / 3) < 0.03
+    assert abs(right_rate - 1 / 3) < 0.03
+    assert abs(semi.positive_rate - 0.5) < 0.02

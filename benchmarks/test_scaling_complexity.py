@@ -1,0 +1,69 @@
+"""Section 3 complexity: cost is O(M . N . Q).
+
+The paper states the audit costs O(M.N.Q) — Monte Carlo worlds times
+regions times range-count cost.  The bench measures wall time while
+doubling (a) the number of worlds and (b) the number of regions, and
+asserts approximate linearity (doubling the driver at most ~triples the
+time, ruling out super-linear blowups).
+"""
+
+import time
+
+import numpy as np
+from conftest import report
+
+from repro import (
+    SpatialFairnessAuditor,
+    scan_centers,
+    square_region_set,
+)
+
+
+def _timed_audit(auditor, regions, n_worlds, membership):
+    start = time.perf_counter()
+    auditor.audit(
+        regions,
+        n_worlds=n_worlds,
+        alpha=0.05,
+        seed=0,
+        membership=membership,
+    )
+    return time.perf_counter() - start
+
+
+def test_scaling_in_worlds_and_regions(benchmark, lar):
+    rng = np.random.default_rng(0)
+    sub = rng.choice(len(lar), size=20_000, replace=False)
+    coords = lar.coords[sub]
+    labels = lar.y_pred[sub]
+    auditor = SpatialFairnessAuditor(coords, labels)
+    centers = scan_centers(coords, n_centers=50, seed=0)
+    sides = np.linspace(0.1, 2.0, 20)
+    regions = square_region_set(centers, sides)
+    member = auditor.membership(regions)
+    half_regions = square_region_set(centers[:25], sides)
+    half_member = auditor.membership(half_regions)
+
+    def run():
+        # Warm-up to stabilise allocator effects.
+        _timed_audit(auditor, regions, 40, member)
+        t_worlds_1x = _timed_audit(auditor, regions, 100, member)
+        t_worlds_2x = _timed_audit(auditor, regions, 200, member)
+        t_regions_half = _timed_audit(auditor, half_regions, 100,
+                                      half_member)
+        return t_worlds_1x, t_worlds_2x, t_regions_half
+
+    t1, t2, t_half = benchmark.pedantic(run, rounds=1, iterations=1)
+    world_ratio = t2 / t1
+    region_ratio = t1 / t_half
+
+    report(
+        "Section 3: O(M.N.Q) scaling",
+        [
+            ("2x worlds time ratio", "~2 (linear)", f"{world_ratio:.2f}"),
+            ("2x regions time ratio", "~2 (linear)", f"{region_ratio:.2f}"),
+        ],
+    )
+
+    assert world_ratio < 3.2, "time must scale ~linearly in worlds"
+    assert region_ratio < 3.2, "time must scale ~linearly in regions"

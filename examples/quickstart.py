@@ -1,0 +1,56 @@
+"""Quickstart: audit a deliberately unfair classifier in ~30 lines.
+
+Generates the paper's two designed datasets — SemiSynth (spatially fair
+by design) and Synth (unfair by design) — audits both, and shows that
+the framework answers "is it fair?" correctly where the MeanVar baseline
+inverts the answer (Figure 1 / Section 4.2 of the paper).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    GridPartitioning,
+    SpatialFairnessAuditor,
+    mean_variance,
+    partition_region_set,
+    random_partitionings,
+)
+from repro.datasets import generate_semisynth, generate_synth
+
+
+def audit_dataset(data, n_worlds: int = 199, seed: int = 1) -> None:
+    """Audit one dataset over a 10x10 partition grid and print results."""
+    grid = GridPartitioning.regular(data.bounds(), 10, 10)
+    auditor = SpatialFairnessAuditor(data.coords, data.y_pred)
+    result = auditor.audit(
+        partition_region_set(grid), n_worlds=n_worlds, seed=seed
+    )
+    print(result.summary())
+    print()
+
+
+def main() -> None:
+    synth = generate_synth(seed=0)  # unfair by design
+    semisynth = generate_semisynth(seed=0)  # fair by design
+
+    print("=== Our framework ===")
+    for data in (semisynth, synth):
+        print(f"--- {data.name} ({data.describe()})")
+        audit_dataset(data)
+
+    print("=== MeanVar baseline (Xie et al. 2022) ===")
+    for data in (semisynth, synth):
+        partitionings = random_partitionings(data.bounds(), 100, seed=2)
+        score = mean_variance(data.coords, data.y_pred, partitionings)
+        print(f"{data.name}: MeanVar = {score.mean_variance:.4f}")
+    print(
+        "\nNote how MeanVar scores the fair-by-design SemiSynth *worse*\n"
+        "than the unfair-by-design Synth — it cannot audit fairness on\n"
+        "non-regular spatial data, which is the paper's core point."
+    )
+
+
+if __name__ == "__main__":
+    main()
