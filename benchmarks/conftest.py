@@ -60,6 +60,9 @@ def crime_pipeline():
 def report(title: str, rows: "list[tuple[str, str, str]]") -> None:
     """Print a paper-vs-measured table for EXPERIMENTS.md."""
     print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
     width = max(len(r[0]) for r in rows)
     print(f"{'quantity'.ljust(width)} | paper | measured")
     for name, paper, measured in rows:

@@ -1,0 +1,108 @@
+"""repro — a reproduction of *Auditing for Spatial Fairness* (EDBT 2023).
+
+The package audits point-located algorithmic outcomes for spatial
+fairness: a Monte Carlo scan over a predetermined candidate region set
+tests whether outcomes are independent of location and localises the
+regions responsible, with exact multiple-testing control.
+
+Quickstart::
+
+    from repro import (GridPartitioning, SpatialFairnessAuditor,
+                       partition_region_set)
+    from repro.datasets import generate_synth
+
+    data = generate_synth(seed=0)
+    grid = GridPartitioning.regular(data.bounds(), 10, 10)
+    auditor = SpatialFairnessAuditor(data.coords, data.y_pred)
+    result = auditor.audit(partition_region_set(grid),
+                           n_worlds=199, seed=1)
+    print(result.summary())
+
+Module map: :mod:`repro.core` (auditors and analyses),
+:mod:`repro.geometry` (regions and partitionings), :mod:`repro.stats`
+(statistic kernels), :mod:`repro.index` (counting backends),
+:mod:`repro.baselines` (MeanVar, naive testing),
+:mod:`repro.datasets` (paper-shaped generators), :mod:`repro.forest`
+(numpy random forest), :mod:`repro.viz` (SVG figures).
+"""
+
+from .baselines import (
+    Contribution,
+    MeanVarScore,
+    NaiveAuditResult,
+    mean_variance,
+    naive_audit,
+    rank_contributions,
+    top_contributors,
+)
+from .core import (
+    AuditResult,
+    Finding,
+    GerrymanderScore,
+    Measure,
+    MultinomialSpatialAuditor,
+    PoissonSpatialAuditor,
+    PowerAnalysis,
+    PowerEstimate,
+    SpatialFairnessAuditor,
+    equal_opportunity,
+    gerrymander_score,
+    log_likelihood_ratio,
+    predictive_equality,
+    select_non_overlapping,
+)
+from .datasets import SpatialDataset
+from .geometry import (
+    GridPartitioning,
+    Rect,
+    Region,
+    RegionSet,
+    circle_region_set,
+    paper_side_lengths,
+    partition_region_set,
+    random_partitionings,
+    scan_centers,
+    square_region_set,
+)
+from .index import GridIndex, KDTree, RegionMembership
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AuditResult",
+    "Contribution",
+    "Finding",
+    "GerrymanderScore",
+    "GridIndex",
+    "GridPartitioning",
+    "KDTree",
+    "Measure",
+    "MeanVarScore",
+    "MultinomialSpatialAuditor",
+    "NaiveAuditResult",
+    "PoissonSpatialAuditor",
+    "PowerAnalysis",
+    "PowerEstimate",
+    "Rect",
+    "Region",
+    "RegionMembership",
+    "RegionSet",
+    "SpatialDataset",
+    "SpatialFairnessAuditor",
+    "circle_region_set",
+    "equal_opportunity",
+    "gerrymander_score",
+    "log_likelihood_ratio",
+    "mean_variance",
+    "naive_audit",
+    "paper_side_lengths",
+    "partition_region_set",
+    "predictive_equality",
+    "random_partitionings",
+    "rank_contributions",
+    "scan_centers",
+    "select_non_overlapping",
+    "square_region_set",
+    "top_contributors",
+    "__version__",
+]

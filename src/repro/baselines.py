@@ -1,0 +1,271 @@
+"""Baselines the paper compares against.
+
+* :func:`mean_variance` — the MeanVar score of Xie et al. (2022):
+  average, over random partitionings, of the variance of per-cell
+  positive rates.  The paper's Section 4.2 shows it *inverts* on
+  non-uniform spatial data: clustered-but-fair data scores worse than
+  uniform-but-unfair data.
+* :func:`rank_contributions` / :func:`top_contributors` — which cells
+  drive a MeanVar score; the paper's Figures 2-4 and 9 contrast these
+  (sparse, degenerate-rate cells) with the scan's dense findings.
+* :func:`naive_audit` — per-region exact binomial tests with an
+  optional Benjamini–Hochberg correction; the obvious alternative to
+  the Monte Carlo max-statistic scan, miscalibrated without the
+  correction because thousands of dependent region tests are run on
+  the data that suggested them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .geometry import GridPartitioning, Rect
+from .index import RegionMembership
+from .stats import benjamini_hochberg, binom_cdf_vector, binom_sf_vector
+
+__all__ = [
+    "MeanVarScore",
+    "mean_variance",
+    "Contribution",
+    "rank_contributions",
+    "top_contributors",
+    "NaiveAuditResult",
+    "naive_audit",
+]
+
+
+@dataclass(frozen=True)
+class MeanVarScore:
+    """The MeanVar spatial-fairness score of Xie et al. (2022).
+
+    Attributes
+    ----------
+    mean_variance : float
+        Mean over partitionings of the variance of per-cell positive
+        rates (nonempty cells only).  Lower is claimed fairer.
+    per_partitioning : ndarray
+        The individual variances, one per partitioning.
+    """
+
+    mean_variance: float
+    per_partitioning: np.ndarray
+
+
+def mean_variance(
+    coords: np.ndarray,
+    y_pred: np.ndarray,
+    partitionings: Sequence[GridPartitioning],
+) -> MeanVarScore:
+    """Compute the MeanVar score over a set of partitionings.
+
+    For each partitioning, the per-cell positive rate is computed for
+    every nonempty cell and the (population) variance of those rates is
+    taken; the score is the mean variance across partitionings.
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+    y_pred : ndarray of shape (n,)
+        Binary outcomes.
+    partitionings : sequence of GridPartitioning
+        Typically :func:`repro.geometry.random_partitionings` output.
+
+    Returns
+    -------
+    MeanVarScore
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    y = np.asarray(y_pred, dtype=np.float64).ravel()
+    variances = np.empty(len(partitionings))
+    for i, part in enumerate(partitionings):
+        n = part.counts(coords)
+        p = part.counts(coords, weights=y)
+        nonempty = n > 0
+        rates = p[nonempty] / n[nonempty]
+        variances[i] = float(np.var(rates)) if len(rates) else 0.0
+    return MeanVarScore(
+        mean_variance=float(variances.mean()),
+        per_partitioning=variances,
+    )
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One cell's contribution to a partitioning's MeanVar variance.
+
+    Attributes
+    ----------
+    cell_index : int
+        Flat cell index in the partitioning.
+    rect : Rect
+        The cell's rectangle.
+    n, p : int
+        Observations and positives in the cell.
+    rate : float
+        Local positive rate ``p / n``.
+    deviation : float
+        ``rate`` minus the mean rate over nonempty cells.
+    contribution : float
+        ``deviation ** 2 / n_nonempty_cells`` — the cell's share of
+        the variance.
+    """
+
+    cell_index: int
+    rect: Rect
+    n: int
+    p: int
+    rate: float
+    deviation: float
+    contribution: float
+
+
+def rank_contributions(
+    grid: GridPartitioning,
+    coords: np.ndarray,
+    y_pred: np.ndarray,
+) -> list:
+    """Rank a partitioning's cells by their MeanVar contribution.
+
+    Cells are ordered by descending contribution; among equal
+    contributions, smaller cells come first (making the baseline's
+    preference for sparse degenerate cells explicit).
+
+    Parameters
+    ----------
+    grid : GridPartitioning
+    coords : ndarray of shape (n, 2)
+    y_pred : ndarray of shape (n,)
+
+    Returns
+    -------
+    list of Contribution
+        Nonempty cells only, most suspicious (by MeanVar's lights)
+        first.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    y = np.asarray(y_pred, dtype=np.float64).ravel()
+    n = grid.counts(coords)
+    p = grid.counts(coords, weights=y)
+    nonempty = np.nonzero(n > 0)[0]
+    rates = p[nonempty] / n[nonempty]
+    mean_rate = rates.mean()
+    deviations = rates - mean_rate
+    contributions = deviations**2 / len(nonempty)
+    order = np.lexsort((n[nonempty], -contributions))
+    out = []
+    for j in order:
+        cell = int(nonempty[j])
+        out.append(
+            Contribution(
+                cell_index=cell,
+                rect=grid.cell_rect(cell),
+                n=int(n[cell]),
+                p=int(p[cell]),
+                rate=float(rates[j]),
+                deviation=float(deviations[j]),
+                contribution=float(contributions[j]),
+            )
+        )
+    return out
+
+
+def top_contributors(
+    grid: GridPartitioning,
+    coords: np.ndarray,
+    y_pred: np.ndarray,
+    k: int = 10,
+) -> list:
+    """The ``k`` cells MeanVar finds most suspicious.
+
+    Parameters
+    ----------
+    grid, coords, y_pred
+        As in :func:`rank_contributions`.
+    k : int, default 10
+
+    Returns
+    -------
+    list of Contribution
+    """
+    return rank_contributions(grid, coords, y_pred)[:k]
+
+
+@dataclass(frozen=True)
+class NaiveAuditResult:
+    """Outcome of the naive per-region testing baseline.
+
+    Attributes
+    ----------
+    flagged : list of int
+        Indices of regions rejected by the procedure.
+    p_values : ndarray
+        Per-region (unadjusted) two-sided exact binomial p-values.
+    alpha : float
+    adjusted : bool
+        Whether Benjamini–Hochberg was applied.
+    """
+
+    flagged: list
+    p_values: np.ndarray
+    alpha: float
+    adjusted: bool
+
+    @property
+    def is_fair(self) -> bool:
+        """``True`` when no region was rejected."""
+        return not self.flagged
+
+
+def naive_audit(
+    membership: RegionMembership,
+    labels: np.ndarray,
+    alpha: float = 0.05,
+    adjust: bool = True,
+) -> NaiveAuditResult:
+    """Test every region separately with an exact binomial test.
+
+    Each region's positive count is tested (two-sided) against the
+    global rate; with ``adjust=True`` the Benjamini–Hochberg step-up
+    procedure controls the false discovery rate across regions.  The
+    uncorrected variant demonstrates the multiple-testing trap the
+    paper's Figure 6 warns about.
+
+    Parameters
+    ----------
+    membership : RegionMembership
+        Prebuilt region membership over the data's locations.
+    labels : ndarray of shape (n_points,)
+        Binary outcomes.
+    alpha : float, default 0.05
+        Significance (FDR when adjusted) level.
+    adjust : bool, default True
+        Apply Benjamini–Hochberg.
+
+    Returns
+    -------
+    NaiveAuditResult
+    """
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    rho = float(labels.mean())
+    n = membership.counts
+    p = membership.positive_counts(labels).round().astype(np.int64)
+    # Two-sided exact p-value via the doubled smaller tail (capped),
+    # vectorized over regions.
+    lower = binom_cdf_vector(p, n, rho)
+    upper = binom_sf_vector(p, n, rho)
+    p_values = np.minimum(1.0, 2.0 * np.minimum(lower, upper))
+    p_values = np.where(n > 0, p_values, 1.0)
+    if adjust:
+        reject = benjamini_hochberg(p_values, alpha)
+    else:
+        reject = p_values <= alpha
+    flagged = np.nonzero(reject)[0].tolist()
+    return NaiveAuditResult(
+        flagged=flagged,
+        p_values=p_values,
+        alpha=float(alpha),
+        adjusted=bool(adjust),
+    )

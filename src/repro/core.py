@@ -1,0 +1,1161 @@
+"""The spatial-fairness audit core.
+
+Implements the framework of *Auditing for Spatial Fairness* (Sacharidis,
+Giannopoulos, Papastefanatos, Stefanidis; EDBT 2023): given outcomes of
+an algorithm at point locations and a predetermined set of candidate
+regions, test the null hypothesis that outcomes are independent of
+location ("spatially uniform likelihood", SUL) with a Monte Carlo
+max-statistic scan, and localise the regions responsible.
+
+Three auditors share the machinery:
+
+* :class:`SpatialFairnessAuditor` — binary outcomes (Bernoulli scan,
+  the paper's setting);
+* :class:`PoissonSpatialAuditor` — observed-vs-forecast count data
+  (Kulldorff's Poisson model, the intro's crime-forecast motivation);
+* :class:`MultinomialSpatialAuditor` — categorical outcomes.
+
+The Monte Carlo step is vectorized end-to-end: simulated worlds are a
+``(n_points, n_worlds)`` matrix and per-region recounting is a single
+sparse mat-vec through :class:`repro.index.RegionMembership`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .geometry import (
+    GridPartitioning,
+    Rect,
+    RegionSet,
+)
+from .index import RegionMembership
+from .stats import bernoulli_llr, poisson_llr
+
+__all__ = [
+    "Finding",
+    "AuditResult",
+    "SpatialFairnessAuditor",
+    "PoissonSpatialAuditor",
+    "MultinomialSpatialAuditor",
+    "select_non_overlapping",
+    "Measure",
+    "equal_opportunity",
+    "predictive_equality",
+    "log_likelihood_ratio",
+    "PowerAnalysis",
+    "PowerEstimate",
+    "GerrymanderScore",
+    "gerrymander_score",
+]
+
+_DIRECTIONS = {
+    None: 0,
+    "two-sided": 0,
+    "both": 0,
+    "lower": -1,
+    "red": -1,
+    "higher": 1,
+    "green": 1,
+}
+
+
+def _parse_direction(direction) -> int:
+    try:
+        return _DIRECTIONS[direction]
+    except KeyError:
+        valid = ", ".join(repr(k) for k in _DIRECTIONS if k)
+        raise ValueError(
+            f"unknown direction {direction!r}; expected None, {valid}"
+        ) from None
+
+
+def _check_n_worlds(n_worlds: int) -> int:
+    n_worlds = int(n_worlds)
+    if n_worlds < 1:
+        raise ValueError(
+            f"n_worlds must be >= 1, got {n_worlds}"
+        )
+    return n_worlds
+
+
+def log_likelihood_ratio(n, p, total_n, total_p) -> np.ndarray:
+    """Two-sided Bernoulli scan log-likelihood ratio.
+
+    Convenience re-export of :func:`repro.stats.bernoulli_llr` with the
+    argument order used throughout the paper's tables: region counts
+    first, global totals second.
+
+    Parameters
+    ----------
+    n, p : array_like
+        Region observation and positive counts.
+    total_n, total_p : float
+        Global totals.
+
+    Returns
+    -------
+    ndarray of float64
+    """
+    return bernoulli_llr(n, p, float(total_n), float(total_p))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """The audit's evidence about one candidate region.
+
+    Attributes
+    ----------
+    index : int
+        Position of the region in the scanned :class:`RegionSet`.
+    center_id : int
+        Scan centre (or grid cell) the region belongs to.
+    rect : Rect
+        The region's rectangle (bounding square for circles).
+    n : int
+        Observations inside the region.
+    p : int
+        Positive outcomes inside (Bernoulli); observed events
+        (Poisson); count of the modal class (multinomial).
+    rho_in : float
+        Positive rate inside (Bernoulli); observed/expected ratio
+        (Poisson).
+    llr : float
+        The scan statistic (log-likelihood ratio) of the region.
+    p_value : float
+        Monte Carlo max-statistic adjusted p-value.
+    significant : bool
+        ``p_value <= alpha`` for the audit's significance level.
+    direction : int
+        +1 when the region's rate (or count) is above its complement,
+        -1 when below, 0 when degenerate.
+    class_rates : tuple of float, optional
+        Per-class outcome rates inside the region (multinomial only).
+    """
+
+    index: int
+    center_id: int
+    rect: Rect
+    n: int
+    p: int
+    rho_in: float
+    llr: float
+    p_value: float
+    significant: bool
+    direction: int
+    class_rates: tuple = ()
+
+    @property
+    def is_red(self) -> bool:
+        """True when the region's rate is *below* its complement."""
+        return self.direction < 0
+
+    @property
+    def is_green(self) -> bool:
+        """True when the region's rate is *above* its complement."""
+        return self.direction > 0
+
+    def describe(self) -> str:
+        """One-line human-readable description of the finding."""
+        star = "*" if self.significant else ""
+        return (
+            f"{self.rect.describe()} n={self.n} p={self.p} "
+            f"rate_in={self.rho_in:.2f} llr={self.llr:.1f} "
+            f"p={self.p_value:.4g}{star}"
+        )
+
+
+@dataclass
+class AuditResult:
+    """Everything a spatial-fairness audit concluded.
+
+    Attributes
+    ----------
+    findings : list of Finding
+        One entry per scanned region, in region order.
+    p_value : float
+        Monte Carlo p-value of the observed maximum statistic: the
+        probability, under spatial fairness, of seeing a scan maximum
+        at least as extreme.
+    alpha : float
+        The significance level the audit ran at.
+    critical_value : float
+        Empirical (1 - alpha) quantile of the null max-statistic
+        distribution; a region is significant when its statistic
+        exceeds it.
+    total_n, total_p : int
+        Global observation and positive counts.
+    n_worlds : int
+        Number of simulated null worlds.
+    n_regions : int
+        Number of scanned regions.
+    direction : int
+        0 two-sided, +1 "higher inside", -1 "lower inside".
+    """
+
+    findings: list
+    p_value: float
+    alpha: float
+    critical_value: float
+    total_n: int
+    total_p: int
+    n_worlds: int
+    n_regions: int
+    direction: int = 0
+    _significant: list = field(default=None, repr=False)
+
+    @property
+    def is_fair(self) -> bool:
+        """Verdict: ``True`` when fairness cannot be rejected at
+        ``alpha``."""
+        return self.p_value > self.alpha
+
+    @property
+    def significant_findings(self) -> list:
+        """Significant findings, strongest (highest statistic) first."""
+        if self._significant is None:
+            self._significant = sorted(
+                (f for f in self.findings if f.significant),
+                key=lambda f: f.llr,
+                reverse=True,
+            )
+        return self._significant
+
+    @property
+    def best_finding(self):
+        """The region with the strongest evidence, or ``None`` when no
+        region contains any observation."""
+        sig = self.significant_findings
+        if sig:
+            return sig[0]
+        candidates = [f for f in self.findings if f.n > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda f: f.llr)
+
+    def top_regions(self, k: int) -> list:
+        """The ``k`` strongest significant findings."""
+        return self.significant_findings[:k]
+
+    @property
+    def global_rate(self) -> float:
+        """Global positive rate ``P / N``."""
+        return self.total_p / max(self.total_n, 1)
+
+    def summary(self) -> str:
+        """Multi-line report: verdict, p-value, strongest evidence."""
+        verdict = "FAIR" if self.is_fair else "UNFAIR"
+        dir_txt = {0: "two-sided", 1: "higher-inside", -1: "lower-inside"}[
+            self.direction
+        ]
+        lines = [
+            f"spatial fairness audit: {self.n_regions} regions, "
+            f"{self.n_worlds} null worlds, alpha={self.alpha:g} "
+            f"({dir_txt})",
+            f"verdict: {verdict} (p-value {self.p_value:.4f})",
+            f"critical value {self.critical_value:.2f}; "
+            f"{len(self.significant_findings)} significant region(s)",
+        ]
+        best = self.best_finding
+        if best is not None:
+            lines.append(
+                f"strongest evidence: {best.describe()} "
+                f"(global rate {self.global_rate:.2f})"
+            )
+        return "\n".join(lines)
+
+
+class _ScanAuditorBase:
+    """Shared Monte Carlo scan machinery (membership cache, null
+    distribution, result assembly)."""
+
+    def __init__(self, coords: np.ndarray):
+        self.coords = np.asarray(coords, dtype=np.float64)
+        self._member_cache = weakref.WeakKeyDictionary()
+
+    def membership(self, regions: RegionSet) -> RegionMembership:
+        """The (cached) point-membership index for a region set.
+
+        Parameters
+        ----------
+        regions : RegionSet
+
+        Returns
+        -------
+        RegionMembership
+        """
+        member = self._member_cache.get(regions)
+        if member is None:
+            member = RegionMembership(regions, self.coords)
+            self._member_cache[regions] = member
+        return member
+
+    @staticmethod
+    def _world_chunks(n_points: int, n_worlds: int) -> int:
+        """Worlds per chunk keeping the simulation matrix ~200 MB."""
+        return max(8, min(n_worlds, int(2.5e7 / max(n_points, 1)) + 1))
+
+    @staticmethod
+    def _assemble(
+        regions: RegionSet,
+        member: RegionMembership,
+        n: np.ndarray,
+        p: np.ndarray,
+        llr: np.ndarray,
+        rho_in: np.ndarray,
+        direction_arr: np.ndarray,
+        null_max: np.ndarray,
+        alpha: float,
+        direction: int,
+        total_n: int,
+        total_p: int,
+        class_rates: np.ndarray | None = None,
+    ) -> AuditResult:
+        n_worlds = len(null_max)
+        sorted_null = np.sort(null_max)
+        # Max-statistic adjusted p-value per region, and for the scan
+        # maximum itself (the audit's verdict).
+        counts_ge = n_worlds - np.searchsorted(
+            sorted_null, llr - 1e-12, side="left"
+        )
+        p_values = (1.0 + counts_ge) / (n_worlds + 1.0)
+        observed_max = float(llr.max()) if len(llr) else 0.0
+        global_count = n_worlds - np.searchsorted(
+            sorted_null, observed_max - 1e-12, side="left"
+        )
+        global_p = (1.0 + global_count) / (n_worlds + 1.0)
+        k = max(1, int(np.floor(alpha * (n_worlds + 1))))
+        critical = float(sorted_null[n_worlds - k])
+        tol = alpha * (1.0 + 1e-9)
+        findings = []
+        for i, region in enumerate(regions):
+            findings.append(
+                Finding(
+                    index=i,
+                    center_id=region.center_id,
+                    rect=region.rect,
+                    n=int(n[i]),
+                    p=int(p[i]),
+                    rho_in=float(rho_in[i]),
+                    llr=float(llr[i]),
+                    p_value=float(p_values[i]),
+                    significant=bool(
+                        p_values[i] <= tol and llr[i] > 0.0
+                    ),
+                    direction=int(direction_arr[i]),
+                    class_rates=(
+                        tuple(class_rates[i]) if class_rates is not None
+                        else ()
+                    ),
+                )
+            )
+        return AuditResult(
+            findings=findings,
+            p_value=float(global_p),
+            alpha=float(alpha),
+            critical_value=critical,
+            total_n=int(total_n),
+            total_p=int(total_p),
+            n_worlds=n_worlds,
+            n_regions=len(regions),
+            direction=direction,
+        )
+
+
+class SpatialFairnessAuditor(_ScanAuditorBase):
+    """Audit binary outcomes for spatial fairness (the paper's SUL test).
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+        Outcome locations.
+    labels : ndarray of shape (n,)
+        Binary outcomes (0/1 or bool).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import (SpatialFairnessAuditor, GridPartitioning,
+    ...                    Rect, partition_region_set)
+    >>> rng = np.random.default_rng(0)
+    >>> coords = rng.random((2000, 2))
+    >>> labels = (rng.random(2000) < 0.5).astype(int)
+    >>> grid = GridPartitioning.regular(Rect(0, 0, 1, 1), 5, 5)
+    >>> auditor = SpatialFairnessAuditor(coords, labels)
+    >>> result = auditor.audit(partition_region_set(grid),
+    ...                        n_worlds=99, seed=0)
+    >>> result.is_fair
+    True
+    """
+
+    def __init__(self, coords: np.ndarray, labels: np.ndarray):
+        super().__init__(coords)
+        self.labels = np.asarray(labels).astype(np.int8).ravel()
+        if len(self.labels) != len(self.coords):
+            raise ValueError(
+                "coords and labels must have the same length"
+            )
+
+    def audit(
+        self,
+        regions: RegionSet,
+        n_worlds: int = 99,
+        alpha: float = 0.05,
+        seed: int | None = None,
+        direction: str | None = None,
+        membership: RegionMembership | None = None,
+    ) -> AuditResult:
+        """Run the Monte Carlo scan over a candidate region set.
+
+        Simulates ``n_worlds`` spatially fair worlds (labels redrawn
+        i.i.d. Bernoulli at the global rate, locations fixed), compares
+        the observed maximum region statistic against the null maxima,
+        and returns per-region adjusted significance.
+
+        Parameters
+        ----------
+        regions : RegionSet
+            Candidate regions (grid partitions, squares, circles, ...).
+        n_worlds : int, default 99
+            Simulated null worlds; the p-value resolution is
+            ``1 / (n_worlds + 1)``.
+        alpha : float, default 0.05
+            Significance level for the verdict and per-region flags.
+        seed : int, optional
+            Seed of the world simulator.
+        direction : {None, 'lower', 'higher'}, optional
+            ``None`` scans two-sided.  ``'lower'`` hunts "red" regions
+            (rate inside below outside), ``'higher'`` "green" ones.
+            The null distribution is directional too, matching the
+            statistic.
+        membership : RegionMembership, optional
+            Precomputed membership index (else built/cached).
+
+        Returns
+        -------
+        AuditResult
+        """
+        d = _parse_direction(direction)
+        n_worlds = _check_n_worlds(n_worlds)
+        member = membership or self.membership(regions)
+        N = len(self.coords)
+        P = int(self.labels.sum())
+        rho = P / N
+        n = member.counts.astype(np.float64)
+        p = member.positive_counts(self.labels.astype(np.float64))
+        llr = bernoulli_llr(n, p, N, P, direction=d)
+
+        rng = np.random.default_rng(seed)
+        null_max = np.empty(n_worlds)
+        chunk = self._world_chunks(N, n_worlds)
+        for start in range(0, n_worlds, chunk):
+            w = min(chunk, n_worlds - start)
+            worlds = (rng.random((N, w)) < rho).astype(np.float32)
+            world_p = member.positive_counts_batch(worlds)
+            world_P = worlds.sum(axis=0, dtype=np.float64)
+            world_llr = _world_bernoulli_llr(n, world_p, N, world_P, d)
+            null_max[start : start + w] = world_llr.max(axis=0)
+
+        with np.errstate(invalid="ignore"):
+            rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
+            rho_out = np.where(
+                N - n > 0, (P - p) / np.maximum(N - n, 1.0), rho
+            )
+        dir_arr = np.sign(rho_in - rho_out).astype(int)
+        return self._assemble(
+            regions, member, n, p, llr, rho_in, dir_arr, null_max,
+            alpha, d, N, P,
+        )
+
+
+def _world_bernoulli_llr(
+    n: np.ndarray,
+    world_p: np.ndarray,
+    N: int,
+    world_P: np.ndarray,
+    direction: int,
+) -> np.ndarray:
+    """Bernoulli LLR for a batch of simulated worlds.
+
+    Each world has its own global positive total ``world_P[w]``; the
+    statistic must be computed against that world's own rate, exactly
+    as for the observed data.
+    """
+    from scipy.special import xlogy
+
+    n = n[:, None]
+    P = world_P[None, :]
+    p = world_p
+    n_out = N - n
+    p_out = P - p
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
+        rho_out = np.where(
+            n_out > 0, p_out / np.maximum(n_out, 1.0), 0.0
+        )
+        rho = P / N
+    llr = (
+        xlogy(p, np.maximum(rho_in, 1e-300))
+        + xlogy(n - p, np.maximum(1.0 - rho_in, 1e-300))
+        + xlogy(p_out, np.maximum(rho_out, 1e-300))
+        + xlogy(n_out - p_out, np.maximum(1.0 - rho_out, 1e-300))
+        - xlogy(P, np.maximum(rho, 1e-300))
+        - xlogy(N - P, np.maximum(1.0 - rho, 1e-300))
+    )
+    llr = np.maximum(llr, 0.0)
+    llr = np.where((n <= 0) | (n >= N), 0.0, llr)
+    if direction > 0:
+        llr = np.where(rho_in > rho_out, llr, 0.0)
+    elif direction < 0:
+        llr = np.where(rho_in < rho_out, llr, 0.0)
+    return llr
+
+
+class PoissonSpatialAuditor(_ScanAuditorBase):
+    """Audit observed-vs-forecast count data (Poisson scan).
+
+    The setting of the paper's introduction: a forecast assigns each
+    area an expected event count; spatial fairness of the forecast's
+    *accuracy* means observed counts deviate from their (calibrated)
+    expectations nowhere more than chance allows.
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+        Area representative locations.
+    observed : ndarray of shape (n,)
+        Observed event counts per area.
+    forecast : ndarray of shape (n,)
+        Forecast (expected) counts per area; internally rescaled so
+        the totals match, making the audit test *relative* calibration.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        observed: np.ndarray,
+        forecast: np.ndarray,
+    ):
+        super().__init__(coords)
+        self.observed = np.asarray(observed, dtype=np.float64).ravel()
+        self.forecast = np.asarray(forecast, dtype=np.float64).ravel()
+        if not (
+            len(self.observed) == len(self.forecast) == len(self.coords)
+        ):
+            raise ValueError(
+                "coords, observed and forecast must share a length"
+            )
+        if (self.forecast < 0).any() or self.forecast.sum() <= 0:
+            raise ValueError("forecast must be non-negative, not all 0")
+
+    def audit(
+        self,
+        regions: RegionSet,
+        n_worlds: int = 99,
+        alpha: float = 0.05,
+        seed: int | None = None,
+        direction: str | None = None,
+        membership: RegionMembership | None = None,
+    ) -> AuditResult:
+        """Monte Carlo Poisson scan of observed vs forecast counts.
+
+        Null worlds redistribute the observed event total over areas
+        with probabilities proportional to the forecast (conditional /
+        multinomial simulation), so the audit is exact given the total.
+
+        Parameters
+        ----------
+        regions, n_worlds, alpha, seed, direction, membership
+            As in :meth:`SpatialFairnessAuditor.audit`; ``direction``
+            +1 hunts excess regions (observed above forecast), -1
+            deficits.
+
+        Returns
+        -------
+        AuditResult
+        """
+        d = _parse_direction(direction)
+        n_worlds = _check_n_worlds(n_worlds)
+        member = membership or self.membership(regions)
+        O = float(self.observed.sum())
+        scale = O / self.forecast.sum()
+        expected = self.forecast * scale
+
+        obs_r = member.positive_counts(self.observed)
+        exp_r = member.positive_counts(expected)
+        llr = poisson_llr(obs_r, exp_r, O, direction=d)
+
+        rng = np.random.default_rng(seed)
+        probs = expected / O
+        null_max = np.empty(n_worlds)
+        chunk = self._world_chunks(len(self.coords), n_worlds)
+        O_int = int(round(O))
+        for start in range(0, n_worlds, chunk):
+            w = min(chunk, n_worlds - start)
+            worlds = rng.multinomial(O_int, probs, size=w).T.astype(
+                np.float32
+            )
+            world_obs = member.positive_counts_batch(worlds)
+            world_llr = poisson_llr(
+                world_obs, exp_r[:, None], O, direction=d
+            )
+            null_max[start : start + w] = world_llr.max(axis=0)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(exp_r > 0, obs_r / np.maximum(exp_r, 1e-300),
+                             1.0)
+        dir_arr = np.sign(obs_r - exp_r).astype(int)
+        return self._assemble(
+            regions, member, member.counts, obs_r, llr, ratio, dir_arr,
+            null_max, alpha, d, len(self.coords), int(O),
+        )
+
+
+class MultinomialSpatialAuditor(_ScanAuditorBase):
+    """Audit categorical outcomes for spatial fairness.
+
+    Spatial fairness of a multi-class system means the outcome *class
+    distribution* is location-independent; the scan statistic is the
+    multinomial generalisation of the Bernoulli log-likelihood ratio.
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+    labels : ndarray of shape (n,)
+        Integer class labels in ``[0, n_classes)``.
+    n_classes : int
+    """
+
+    def __init__(
+        self, coords: np.ndarray, labels: np.ndarray, n_classes: int
+    ):
+        super().__init__(coords)
+        self.labels = np.asarray(labels).astype(np.int64).ravel()
+        self.n_classes = int(n_classes)
+        if len(self.labels) != len(self.coords):
+            raise ValueError(
+                "coords and labels must have the same length"
+            )
+        if self.labels.min() < 0 or self.labels.max() >= self.n_classes:
+            raise ValueError("labels must lie in [0, n_classes)")
+
+    def _class_llr(
+        self,
+        n: np.ndarray,
+        class_counts: np.ndarray,
+        N: float,
+        totals: np.ndarray,
+    ) -> np.ndarray:
+        """Multinomial scan LLR.
+
+        Parameters
+        ----------
+        n : ndarray (R,) or (R, W)
+            Region sizes.
+        class_counts : ndarray (K, R) or (K, R, W)
+            Per-class counts inside each region.
+        N : float
+            Total observations.
+        totals : ndarray (K,)
+            Global class counts.
+        """
+        from scipy.special import xlogy
+
+        n_out = N - n
+        llr = np.zeros(np.shape(n))
+        for k in range(self.n_classes):
+            c = class_counts[k]
+            C = totals[k]
+            g = C / N
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rho = np.where(n > 0, c / np.maximum(n, 1.0), 0.0)
+                q = np.where(
+                    n_out > 0, (C - c) / np.maximum(n_out, 1.0), 0.0
+                )
+            llr = llr + (
+                xlogy(c, np.maximum(rho, 1e-300))
+                + xlogy(C - c, np.maximum(q, 1e-300))
+                - xlogy(C, g)
+            )
+        llr = np.maximum(llr, 0.0)
+        llr = np.where((n <= 0) | (n >= N), 0.0, llr)
+        return llr
+
+    def audit(
+        self,
+        regions: RegionSet,
+        n_worlds: int = 99,
+        alpha: float = 0.05,
+        seed: int | None = None,
+        membership: RegionMembership | None = None,
+    ) -> AuditResult:
+        """Monte Carlo multinomial scan.
+
+        Null worlds redraw every label i.i.d. from the global class
+        distribution with locations fixed.
+
+        Parameters
+        ----------
+        regions, n_worlds, alpha, seed, membership
+            As in :meth:`SpatialFairnessAuditor.audit`.
+
+        Returns
+        -------
+        AuditResult
+            Findings carry ``class_rates`` (the per-class rates inside
+            each region).
+        """
+        n_worlds = _check_n_worlds(n_worlds)
+        member = membership or self.membership(regions)
+        N = len(self.coords)
+        K = self.n_classes
+        totals = np.bincount(self.labels, minlength=K).astype(np.float64)
+        g = totals / N
+
+        n = member.counts.astype(np.float64)
+        class_counts = np.stack(
+            [
+                member.positive_counts(
+                    (self.labels == k).astype(np.float64)
+                )
+                for k in range(K)
+            ]
+        )
+        llr = self._class_llr(n, class_counts, N, totals)
+
+        rng = np.random.default_rng(seed)
+        cum = np.cumsum(g)
+        null_max = np.empty(n_worlds)
+        chunk = self._world_chunks(N * K, n_worlds)
+        for start in range(0, n_worlds, chunk):
+            w = min(chunk, n_worlds - start)
+            u = rng.random((N, w))
+            world_labels = np.searchsorted(cum, u)  # (N, w) ints < K
+            world_class = np.empty((K, len(member), w))
+            world_totals = np.empty((K, w))
+            for k in range(K):
+                ind = (world_labels == k).astype(np.float32)
+                world_class[k] = member.positive_counts_batch(ind)
+                world_totals[k] = ind.sum(axis=0, dtype=np.float64)
+            # Per-world global totals differ; compute LLR world-wise
+            # against each world's own distribution.
+            world_llr = np.zeros((len(member), w))
+            from scipy.special import xlogy
+
+            n_col = n[:, None]
+            n_out = N - n_col
+            for k in range(K):
+                c = world_class[k]
+                C = world_totals[k][None, :]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    rho = np.where(
+                        n_col > 0, c / np.maximum(n_col, 1.0), 0.0
+                    )
+                    q = np.where(
+                        n_out > 0,
+                        (C - c) / np.maximum(n_out, 1.0),
+                        0.0,
+                    )
+                world_llr = world_llr + (
+                    xlogy(c, np.maximum(rho, 1e-300))
+                    + xlogy(C - c, np.maximum(q, 1e-300))
+                    - xlogy(C, np.maximum(C / N, 1e-300))
+                )
+            world_llr = np.maximum(world_llr, 0.0)
+            world_llr = np.where(
+                (n_col <= 0) | (n_col >= N), 0.0, world_llr
+            )
+            null_max[start : start + w] = world_llr.max(axis=0)
+
+        with np.errstate(invalid="ignore"):
+            rates = np.where(
+                n[None, :] > 0,
+                class_counts / np.maximum(n[None, :], 1.0),
+                0.0,
+            )
+        modal = class_counts.argmax(axis=0)
+        p = class_counts[modal, np.arange(len(member))]
+        rho_in = rates[modal, np.arange(len(member))]
+        dir_arr = np.zeros(len(member), dtype=int)
+        return self._assemble(
+            regions, member, n, p, llr, rho_in, dir_arr, null_max,
+            alpha, 0, N, int(totals.max()), class_rates=rates.T,
+        )
+
+
+def select_non_overlapping(
+    findings: Sequence[Finding], policy: str = "per-center"
+) -> list:
+    """Reduce significant findings to a disjoint set of regions.
+
+    Parameters
+    ----------
+    findings : sequence of Finding
+        Typically ``result.findings``; only significant findings are
+        eligible.
+    policy : {'per-center', 'greedy'}, default 'per-center'
+        ``'per-center'`` (the paper's rule) keeps, per scan centre in
+        sequence, that centre's strongest region unless it overlaps an
+        already-kept one.  ``'greedy'`` orders all significant regions
+        by statistic and keeps best-first, which always retains the
+        single strongest region overall.
+
+    Returns
+    -------
+    list of Finding
+        Pairwise non-intersecting significant findings.
+    """
+    sig = [f for f in findings if f.significant]
+    if policy == "per-center":
+        best_per_center: dict[int, Finding] = {}
+        for f in sig:
+            cur = best_per_center.get(f.center_id)
+            if cur is None or f.llr > cur.llr:
+                best_per_center[f.center_id] = f
+        ordered = [
+            best_per_center[c] for c in sorted(best_per_center)
+        ]
+    elif policy == "greedy":
+        ordered = sorted(sig, key=lambda f: f.llr, reverse=True)
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    kept: list[Finding] = []
+    for f in ordered:
+        if all(not f.rect.intersects(k.rect) for k in kept):
+            kept.append(f)
+    return kept
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A fairness measure extracted from a labelled dataset.
+
+    The audit is measure-agnostic: any subset of locations with binary
+    outcomes can be scanned.  :func:`equal_opportunity` and
+    :func:`predictive_equality` are the extractors used by the paper's
+    Crime experiment.
+
+    Attributes
+    ----------
+    coords : ndarray of shape (m, 2)
+        Locations of the retained subset.
+    outcomes : ndarray of shape (m,)
+        Binary outcome per retained observation.
+    name : str
+    """
+
+    coords: np.ndarray
+    outcomes: np.ndarray
+    name: str = "measure"
+
+    @property
+    def n(self) -> int:
+        """Size of the retained subset."""
+        return len(self.outcomes)
+
+    @property
+    def rate(self) -> float:
+        """Global positive-outcome rate of the subset."""
+        return float(np.mean(self.outcomes)) if self.n else 0.0
+
+
+def equal_opportunity(dataset) -> Measure:
+    """Equal-opportunity measure: is the true positive rate uniform?
+
+    Keeps the observations whose true label is positive; the outcome is
+    whether the model predicted them positive.  Spatial fairness of
+    this measure is location-independence of the TPR (recall).
+
+    Parameters
+    ----------
+    dataset : SpatialDataset
+        Must carry ``y_true`` and ``y_pred``.
+
+    Returns
+    -------
+    Measure
+    """
+    if dataset.y_true is None:
+        raise ValueError("equal_opportunity needs y_true labels")
+    mask = np.asarray(dataset.y_true) == 1
+    return Measure(
+        coords=dataset.coords[mask],
+        outcomes=(np.asarray(dataset.y_pred)[mask] == 1).astype(np.int8),
+        name="equal opportunity (TPR)",
+    )
+
+
+def predictive_equality(dataset) -> Measure:
+    """Predictive-equality measure: is the false positive rate uniform?
+
+    Keeps the observations whose true label is negative; the outcome is
+    whether the model (wrongly) predicted them positive.
+
+    Parameters
+    ----------
+    dataset : SpatialDataset
+        Must carry ``y_true`` and ``y_pred``.
+
+    Returns
+    -------
+    Measure
+    """
+    if dataset.y_true is None:
+        raise ValueError("predictive_equality needs y_true labels")
+    mask = np.asarray(dataset.y_true) == 0
+    return Measure(
+        coords=dataset.coords[mask],
+        outcomes=(np.asarray(dataset.y_pred)[mask] == 1).astype(np.int8),
+        name="predictive equality (FPR)",
+    )
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Detection power of the audit at one effect size.
+
+    Attributes
+    ----------
+    gap : float
+        Inside-vs-outside rate gap of the injected bias.
+    power : float
+        Fraction of trials in which the audit rejected fairness.
+    std_error : float
+        Binomial standard error of ``power``.
+    n_trials : int
+    """
+
+    gap: float
+    power: float
+    std_error: float
+    n_trials: int
+
+
+class PowerAnalysis:
+    """Plan an audit: how strong a bias can this design detect?
+
+    Fixes the audit design (locations, candidate regions, Monte Carlo
+    budget, significance level) and estimates, by simulation, the
+    probability of detecting a localized rate gap of a given size.
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+        The design's observation locations.
+    regions : RegionSet
+        The candidate regions the audit will scan.
+    n_worlds : int, default 99
+        Null worlds per audit.
+    alpha : float, default 0.05
+        Significance level.
+    seed : int, optional
+        Master seed; per-trial seeds are derived from it.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        regions: RegionSet,
+        n_worlds: int = 99,
+        alpha: float = 0.05,
+        seed: int | None = None,
+    ):
+        self.coords = np.asarray(coords, dtype=np.float64)
+        self.regions = regions
+        self.n_worlds = int(n_worlds)
+        self.alpha = float(alpha)
+        self.seed = seed
+        # One membership index serves every trial: locations are fixed
+        # by the design, only labels vary.
+        self._member = RegionMembership(regions, self.coords)
+
+    def power_at(
+        self,
+        bias: Rect,
+        outside_rate: float,
+        gap: float,
+        n_trials: int = 20,
+        _rng: np.random.Generator | None = None,
+    ) -> PowerEstimate:
+        """Estimate power against one injected bias strength.
+
+        Parameters
+        ----------
+        bias : Rect
+            Region whose rate is depressed by ``gap``.
+        outside_rate : float
+            Positive rate outside the bias region.
+        gap : float
+            ``outside_rate - inside_rate``; 0 measures the audit's
+            size (false-alarm rate).
+        n_trials : int, default 20
+            Simulated datasets.
+
+        Returns
+        -------
+        PowerEstimate
+        """
+        rng = _rng or np.random.default_rng(self.seed)
+        inside = bias.contains(self.coords)
+        rates = np.where(
+            inside, np.clip(outside_rate - gap, 0.0, 1.0), outside_rate
+        )
+        rejections = 0
+        for t in range(n_trials):
+            labels = (rng.random(len(self.coords)) < rates).astype(
+                np.int8
+            )
+            auditor = SpatialFairnessAuditor(self.coords, labels)
+            result = auditor.audit(
+                self.regions,
+                n_worlds=self.n_worlds,
+                alpha=self.alpha,
+                seed=int(rng.integers(0, 2**31 - 1)),
+                membership=self._member,
+            )
+            rejections += not result.is_fair
+        power = rejections / n_trials
+        return PowerEstimate(
+            gap=float(gap),
+            power=power,
+            std_error=float(
+                np.sqrt(max(power * (1 - power), 1e-12) / n_trials)
+            ),
+            n_trials=n_trials,
+        )
+
+    def power_curve(
+        self,
+        bias: Rect,
+        outside_rate: float,
+        gaps: Sequence[float],
+        n_trials: int = 20,
+    ) -> list:
+        """Power at each gap in ``gaps`` (shared random stream).
+
+        Parameters
+        ----------
+        bias, outside_rate, n_trials
+            As in :meth:`power_at`.
+        gaps : sequence of float
+
+        Returns
+        -------
+        list of PowerEstimate
+        """
+        rng = np.random.default_rng(self.seed)
+        return [
+            self.power_at(
+                bias, outside_rate, gap, n_trials=n_trials, _rng=rng
+            )
+            for gap in gaps
+        ]
+
+
+@dataclass(frozen=True)
+class GerrymanderScore:
+    """How suspicious is a handed partitioning?
+
+    Attributes
+    ----------
+    exposure : float
+        The strongest per-cell evidence (max LLR) the partitioning
+        exposes on the data.
+    percentile : float
+        Fraction of random same-complexity partitionings exposing
+        *less* than the handed one.  Near 0 means almost any random
+        choice of boundaries reveals more than the handed one — the
+        hallmark of a gerrymander.
+    suspicious : bool
+        ``percentile <= threshold``.
+    threshold : float
+    n_random : int
+    """
+
+    exposure: float
+    percentile: float
+    suspicious: bool
+    threshold: float
+    n_random: int
+
+
+def gerrymander_score(
+    coords: np.ndarray,
+    y_pred: np.ndarray,
+    partitioning: GridPartitioning,
+    n_random: int = 99,
+    seed: int | None = None,
+    threshold: float = 0.05,
+) -> GerrymanderScore:
+    """Flag partitionings drawn to hide spatial unfairness.
+
+    A single partitioning can always be gerrymandered so each cell
+    blends high- and low-rate areas and looks fair.  This score
+    compares the evidence the handed partitioning exposes (its max
+    per-cell LLR) against random partitionings of the same complexity
+    (same number of boundary lines, random orientation split and
+    positions).  A handed partitioning exposing less than nearly every
+    random one is suspicious.
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+    y_pred : ndarray of shape (n,)
+        Binary outcomes.
+    partitioning : GridPartitioning
+        The partitioning under scrutiny.
+    n_random : int, default 99
+        Random comparison partitionings.
+    seed : int, optional
+    threshold : float, default 0.05
+        Percentile below which the verdict is ``suspicious``.
+
+    Returns
+    -------
+    GerrymanderScore
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    y = np.asarray(y_pred, dtype=np.float64).ravel()
+    N = len(coords)
+    P = float(y.sum())
+    bounds = Rect.bounding(coords)
+
+    def exposure(part: GridPartitioning) -> float:
+        n = part.counts(coords)
+        p = part.counts(coords, weights=y)
+        return float(bernoulli_llr(n, p, N, P).max())
+
+    handed = exposure(partitioning)
+    n_splits = (partitioning.nx - 1) + (partitioning.ny - 1)
+    rng = np.random.default_rng(seed)
+    exposures = np.empty(n_random)
+    for i in range(n_random):
+        kx = int(rng.integers(0, n_splits + 1))
+        ky = n_splits - kx
+        x_inner = np.sort(
+            rng.uniform(bounds.min_x, bounds.max_x, size=kx)
+        )
+        y_inner = np.sort(
+            rng.uniform(bounds.min_y, bounds.max_y, size=ky)
+        )
+        grid = GridPartitioning(
+            x_edges=np.concatenate(
+                ([bounds.min_x], x_inner, [bounds.max_x])
+            ),
+            y_edges=np.concatenate(
+                ([bounds.min_y], y_inner, [bounds.max_y])
+            ),
+        )
+        exposures[i] = exposure(grid)
+    percentile = float((exposures < handed).mean())
+    return GerrymanderScore(
+        exposure=handed,
+        percentile=percentile,
+        suspicious=percentile <= threshold,
+        threshold=threshold,
+        n_random=n_random,
+    )

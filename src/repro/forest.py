@@ -1,0 +1,195 @@
+"""A small numpy random-forest classifier.
+
+The paper's Crime experiment trains a random forest on incident
+features and audits its predictions.  The container has no sklearn, so
+this module provides a dependency-free CART forest: bootstrap samples,
+per-node random feature subsets, gini splits on quantile candidate
+thresholds, majority-vote prediction.  It is deliberately minimal —
+enough model capacity for the experiment, fully deterministic under a
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecisionTree", "RandomForest"]
+
+
+@dataclass
+class _Node:
+    """One tree node; a leaf when ``feature < 0``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: float = 0.5
+
+
+@dataclass
+class DecisionTree:
+    """A depth-limited CART tree for binary labels.
+
+    Parameters
+    ----------
+    max_depth : int, default 8
+        Maximum split depth.
+    min_leaf : int, default 20
+        Do not split nodes smaller than twice this.
+    max_features : int, optional
+        Random feature-subset size per node; all features when None.
+    n_thresholds : int, default 8
+        Candidate thresholds (quantiles of node values) per feature.
+    """
+
+    max_depth: int = 8
+    min_leaf: int = 20
+    max_features: int | None = None
+    n_thresholds: int = 8
+    _nodes: list = field(default_factory=list, repr=False)
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator,
+    ) -> "DecisionTree":
+        """Grow the tree on ``(n, d)`` features and 0/1 labels."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        self._nodes = []
+        self._grow(X, y, np.arange(len(y)), 0, rng)
+        return self
+
+    def _grow(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> int:
+        node_id = len(self._nodes)
+        node = _Node(value=float(y[idx].mean()) if len(idx) else 0.5)
+        self._nodes.append(node)
+        n = len(idx)
+        if (
+            depth >= self.max_depth
+            or n < 2 * self.min_leaf
+            or node.value in (0.0, 1.0)
+        ):
+            return node_id
+        d = X.shape[1]
+        mf = self.max_features or d
+        features = rng.choice(d, size=min(mf, d), replace=False)
+        y_node = y[idx]
+        best_gain, best_feat, best_thr = 0.0, -1, 0.0
+        parent_gini = node.value * (1.0 - node.value)
+        for f in features:
+            v = X[idx, f]
+            qs = np.quantile(
+                v, np.linspace(0.1, 0.9, self.n_thresholds)
+            )
+            for thr in np.unique(qs):
+                left = v <= thr
+                nl = int(left.sum())
+                if nl < self.min_leaf or n - nl < self.min_leaf:
+                    continue
+                pl = y_node[left].mean()
+                pr = y_node[~left].mean()
+                gini = (
+                    nl * pl * (1 - pl) + (n - nl) * pr * (1 - pr)
+                ) / n
+                gain = parent_gini - gini
+                if gain > best_gain:
+                    best_gain, best_feat, best_thr = gain, int(f), float(
+                        thr
+                    )
+        if best_feat < 0:
+            return node_id
+        mask = X[idx, best_feat] <= best_thr
+        node.feature = best_feat
+        node.threshold = best_thr
+        node.left = self._grow(X, y, idx[mask], depth + 1, rng)
+        node.right = self._grow(X, y, idx[~mask], depth + 1, rng)
+        return node_id
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-row positive-class probability (leaf mean)."""
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(len(X))
+        stack = [(0, np.arange(len(X)))]
+        while stack:
+            node_id, idx = stack.pop()
+            node = self._nodes[node_id]
+            if node.feature < 0 or not len(idx):
+                out[idx] = node.value
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+
+@dataclass
+class RandomForest:
+    """Bagged CART trees with majority-vote prediction.
+
+    Parameters
+    ----------
+    n_trees : int, default 10
+    max_depth : int, default 8
+    min_leaf : int, default 20
+    max_features : int, optional
+        Per-node feature subset; defaults to ``ceil(sqrt(d))``.
+    seed : int, optional
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.normal(size=(500, 3)); y = (X[:, 0] > 0).astype(int)
+    >>> model = RandomForest(n_trees=5, seed=0).fit(X, y)
+    >>> (model.predict(X) == y).mean() > 0.9
+    True
+    """
+
+    n_trees: int = 10
+    max_depth: int = 8
+    min_leaf: int = 20
+    max_features: int | None = None
+    seed: int | None = None
+    _trees: list = field(default_factory=list, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        """Fit on ``(n, d)`` features and 0/1 labels."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y).ravel()
+        rng = np.random.default_rng(self.seed)
+        d = X.shape[1]
+        mf = self.max_features or int(np.ceil(np.sqrt(d)))
+        self._trees = []
+        for _ in range(self.n_trees):
+            boot = rng.integers(0, len(X), size=len(X))
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_leaf=self.min_leaf,
+                max_features=mf,
+            )
+            tree.fit(X[boot], y[boot], rng)
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean leaf probability across trees."""
+        proba = np.zeros(len(X))
+        for tree in self._trees:
+            proba += tree.predict_proba(X)
+        return proba / max(len(self._trees), 1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard 0/1 prediction at the 0.5 probability threshold."""
+        return (self.predict_proba(X) >= 0.5).astype(np.int8)

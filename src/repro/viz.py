@@ -1,0 +1,256 @@
+"""Dependency-free SVG figure writers for the paper's plots.
+
+Every writer returns the output :class:`pathlib.Path` so callers can
+assert the figure exists.  Points are subsampled deterministically for
+file-size sanity; green marks positive outcomes, red negative, matching
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .geometry import Rect
+
+__all__ = [
+    "dataset_figure",
+    "rect_overlay_figure",
+    "regions_figure",
+    "scan_geometry_figure",
+]
+
+_W, _H, _MARGIN = 840, 560, 42
+_POSITIVE = "#2f8f4e"
+_NEGATIVE = "#c94040"
+_MAX_POINTS = 4_000
+
+
+class _Canvas:
+    """Maps data coordinates into the SVG viewport (y flipped)."""
+
+    def __init__(self, bounds: Rect):
+        self.bounds = bounds.expanded(
+            0.02 * max(bounds.width, bounds.height, 1e-9)
+        )
+        self.sx = (_W - 2 * _MARGIN) / max(self.bounds.width, 1e-12)
+        self.sy = (_H - 2 * _MARGIN) / max(self.bounds.height, 1e-12)
+
+    def x(self, v: float) -> float:
+        return _MARGIN + (v - self.bounds.min_x) * self.sx
+
+    def y(self, v: float) -> float:
+        return _H - _MARGIN - (v - self.bounds.min_y) * self.sy
+
+    def rect(self, r: Rect) -> tuple[float, float, float, float]:
+        return (
+            self.x(r.min_x),
+            self.y(r.max_y),
+            r.width * self.sx,
+            r.height * self.sy,
+        )
+
+
+def _subsample(
+    coords: np.ndarray, labels: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    if len(coords) <= _MAX_POINTS:
+        return coords, labels
+    rng = np.random.default_rng(0)
+    idx = rng.choice(len(coords), size=_MAX_POINTS, replace=False)
+    return coords[idx], (labels[idx] if labels is not None else None)
+
+
+def _points_svg(canvas: _Canvas, coords, labels) -> list[str]:
+    out = []
+    for i in range(len(coords)):
+        color = _POSITIVE
+        if labels is not None and not labels[i]:
+            color = _NEGATIVE
+        out.append(
+            f'<circle cx="{canvas.x(coords[i, 0]):.1f}" '
+            f'cy="{canvas.y(coords[i, 1]):.1f}" r="1.4" '
+            f'fill="{color}" fill-opacity="0.5"/>'
+        )
+    return out
+
+
+def _write(path, body: list[str], title: str | None) -> Path:
+    path = Path(path)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+        f'height="{_H}" viewBox="0 0 {_W} {_H}">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_W / 2}" y="24" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="15">{title}</text>'
+        )
+    parts.extend(body)
+    parts.append("</svg>")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(parts))
+    return path
+
+
+def dataset_figure(dataset, path, title: str | None = None) -> Path:
+    """Scatter a dataset's outcomes (Figures 1, 7, 8).
+
+    Parameters
+    ----------
+    dataset : SpatialDataset
+    path : str or Path
+        Output ``.svg`` path.
+    title : str, optional
+
+    Returns
+    -------
+    Path
+    """
+    canvas = _Canvas(dataset.bounds())
+    coords, labels = _subsample(
+        np.asarray(dataset.coords), np.asarray(dataset.y_pred)
+    )
+    return _write(path, _points_svg(canvas, coords, labels), title)
+
+
+def rect_overlay_figure(
+    dataset,
+    rects: Sequence[Rect],
+    path,
+    title: str | None = None,
+    labels: Sequence[str] | None = None,
+) -> Path:
+    """Dataset scatter with rectangle outlines (MeanVar panels).
+
+    Parameters
+    ----------
+    dataset : SpatialDataset
+    rects : sequence of Rect
+        Rectangles to outline.
+    path : str or Path
+    title : str, optional
+    labels : sequence of str, optional
+        Per-rectangle annotations.
+
+    Returns
+    -------
+    Path
+    """
+    canvas = _Canvas(dataset.bounds())
+    coords, y = _subsample(
+        np.asarray(dataset.coords), np.asarray(dataset.y_pred)
+    )
+    body = _points_svg(canvas, coords, y)
+    for i, r in enumerate(rects):
+        x, yy, w, h = canvas.rect(r)
+        body.append(
+            f'<rect x="{x:.1f}" y="{yy:.1f}" width="{max(w, 2):.1f}" '
+            f'height="{max(h, 2):.1f}" fill="none" stroke="#1f4f8f" '
+            f'stroke-width="1.6"/>'
+        )
+        if labels is not None and i < len(labels):
+            body.append(
+                f'<text x="{x:.1f}" y="{yy - 4:.1f}" '
+                f'font-family="sans-serif" font-size="11" '
+                f'fill="#1f4f8f">{labels[i]}</text>'
+            )
+    return _write(path, body, title)
+
+
+def regions_figure(
+    dataset,
+    findings,
+    path,
+    title: str | None = None,
+    annotate: bool = False,
+) -> Path:
+    """Dataset scatter with audit findings outlined (Figures 2-5, 9,
+    11, 12).
+
+    Green outlines mark higher-rate-inside findings, red lower-rate,
+    blue neutral.
+
+    Parameters
+    ----------
+    dataset : SpatialDataset
+    findings : sequence of Finding
+    path : str or Path
+    title : str, optional
+    annotate : bool, default False
+        Write each finding's n and rate next to its outline.
+
+    Returns
+    -------
+    Path
+    """
+    canvas = _Canvas(dataset.bounds())
+    coords, y = _subsample(
+        np.asarray(dataset.coords), np.asarray(dataset.y_pred)
+    )
+    body = _points_svg(canvas, coords, y)
+    for f in findings:
+        color = "#1f4f8f"
+        if f.is_green:
+            color = "#1c7a36"
+        elif f.is_red:
+            color = "#a31515"
+        x, yy, w, h = canvas.rect(f.rect)
+        body.append(
+            f'<rect x="{x:.1f}" y="{yy:.1f}" width="{max(w, 2):.1f}" '
+            f'height="{max(h, 2):.1f}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        if annotate:
+            body.append(
+                f'<text x="{x:.1f}" y="{yy - 4:.1f}" '
+                f'font-family="sans-serif" font-size="11" '
+                f'fill="{color}">n={f.n} rate={f.rho_in:.2f}</text>'
+            )
+    return _write(path, body, title)
+
+
+def scan_geometry_figure(
+    dataset,
+    centers: np.ndarray,
+    min_side: float,
+    max_side: float,
+    path,
+    title: str | None = None,
+) -> Path:
+    """Scan centres with example smallest/largest squares (Figure 10).
+
+    Parameters
+    ----------
+    dataset : SpatialDataset
+    centers : ndarray of shape (k, 2)
+    min_side, max_side : float
+        Example square sides drawn around the first centre.
+    path : str or Path
+    title : str, optional
+
+    Returns
+    -------
+    Path
+    """
+    canvas = _Canvas(dataset.bounds())
+    coords, _ = _subsample(np.asarray(dataset.coords), None)
+    body = _points_svg(canvas, coords, None)
+    centers = np.asarray(centers)
+    for cx, cy in centers:
+        body.append(
+            f'<circle cx="{canvas.x(cx):.1f}" cy="{canvas.y(cy):.1f}" '
+            f'r="3" fill="#1f4f8f"/>'
+        )
+    for side, dash in ((min_side, ""), (max_side, ' stroke-dasharray="6 4"')):
+        r = Rect.from_center(tuple(centers[0]), side)
+        x, yy, w, h = canvas.rect(r)
+        body.append(
+            f'<rect x="{x:.1f}" y="{yy:.1f}" width="{max(w, 2):.1f}" '
+            f'height="{max(h, 2):.1f}" fill="none" stroke="#a31515" '
+            f'stroke-width="2"{dash}/>'
+        )
+    return _write(path, body, title)

@@ -1,0 +1,101 @@
+"""Generate docs/API.md from the package's NumPy-style docstrings.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/gen_api_docs.py
+
+The generator walks each module's ``__all__``, emits the signature and
+verbatim docstring of every public class, function and method, and
+writes the result to ``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+import textwrap
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.geometry",
+    "repro.stats",
+    "repro.index",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.forest",
+    "repro.viz",
+]
+
+
+def _doc(obj) -> str:
+    doc = inspect.getdoc(obj)
+    return doc.strip() if doc else "(undocumented)"
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _emit_callable(name: str, obj, lines: list, level: int = 3) -> None:
+    lines.append(f"{'#' * level} `{name}{_signature(obj)}`\n")
+    lines.append(_doc(obj) + "\n")
+
+
+def _emit_class(name: str, cls, lines: list) -> None:
+    lines.append(f"### `{name}`\n")
+    lines.append(_doc(cls) + "\n")
+    for attr, member in sorted(vars(cls).items()):
+        if attr.startswith("_"):
+            continue
+        if isinstance(member, property):
+            lines.append(f"- **`.{attr}`** (property) — ")
+            lines.append(textwrap.indent(_doc(member), "  ").strip() + "\n")
+        elif inspect.isfunction(member):
+            _emit_callable(f"{name}.{attr}", member, lines, level=4)
+        elif isinstance(member, classmethod):
+            _emit_callable(
+                f"{name}.{attr}", member.__func__, lines, level=4
+            )
+
+
+def main() -> None:
+    lines = [
+        "# repro API reference\n",
+        "_Generated from docstrings by `tools/gen_api_docs.py`;"
+        " do not edit by hand._\n",
+    ]
+    for mod_name in MODULES:
+        module = __import__(mod_name, fromlist=["__all__"])
+        lines.append(f"\n## `{mod_name}`\n")
+        lines.append((inspect.getdoc(module) or "").strip() + "\n")
+        if mod_name == "repro":
+            exported = ", ".join(
+                f"`{n}`" for n in module.__all__ if n != "__version__"
+            )
+            lines.append(f"Top-level exports: {exported}\n")
+            continue
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj):
+                _emit_class(name, obj, lines)
+            elif callable(obj):
+                _emit_callable(name, obj, lines)
+            else:
+                lines.append(f"### `{name}`\n")
+                lines.append(f"Constant: `{obj!r}`\n")
+    out = ROOT / "docs" / "API.md"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text("\n".join(lines))
+    print(f"wrote {out} ({len(lines)} blocks)")
+
+
+if __name__ == "__main__":
+    main()
