@@ -19,6 +19,7 @@ Quickstart::
     print(result.summary())
 
 Module map: :mod:`repro.core` (auditors and analyses),
+:mod:`repro.engine` (shared parallel Monte Carlo engine),
 :mod:`repro.geometry` (regions and partitionings), :mod:`repro.stats`
 (statistic kernels), :mod:`repro.index` (counting backends),
 :mod:`repro.baselines` (MeanVar, naive testing),
@@ -52,6 +53,13 @@ from .core import (
     select_non_overlapping,
 )
 from .datasets import SpatialDataset
+from .engine import (
+    BernoulliKernel,
+    LLRKernel,
+    MonteCarloEngine,
+    MultinomialKernel,
+    PoissonKernel,
+)
 from .geometry import (
     GridPartitioning,
     Rect,
@@ -70,16 +78,21 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AuditResult",
+    "BernoulliKernel",
     "Contribution",
     "Finding",
     "GerrymanderScore",
     "GridIndex",
     "GridPartitioning",
     "KDTree",
+    "LLRKernel",
     "Measure",
     "MeanVarScore",
+    "MonteCarloEngine",
+    "MultinomialKernel",
     "MultinomialSpatialAuditor",
     "NaiveAuditResult",
+    "PoissonKernel",
     "PoissonSpatialAuditor",
     "PowerAnalysis",
     "PowerEstimate",

@@ -22,12 +22,17 @@ sparse mat-vec through :class:`repro.index.RegionMembership`.
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from .engine import (
+    BernoulliKernel,
+    MonteCarloEngine,
+    MultinomialKernel,
+    PoissonKernel,
+)
 from .geometry import (
     GridPartitioning,
     Rect,
@@ -270,12 +275,20 @@ class AuditResult:
 
 
 class _ScanAuditorBase:
-    """Shared Monte Carlo scan machinery (membership cache, null
-    distribution, result assembly)."""
+    """Shared scan machinery: every auditor drives one
+    :class:`repro.engine.MonteCarloEngine` (membership caching, world
+    simulation, null-distribution caching, optional workers) and only
+    assembles family-specific observed statistics itself."""
 
-    def __init__(self, coords: np.ndarray):
+    def __init__(
+        self, coords: np.ndarray, engine: MonteCarloEngine | None = None
+    ):
         self.coords = np.asarray(coords, dtype=np.float64)
-        self._member_cache = weakref.WeakKeyDictionary()
+        # A shared engine (e.g. from PowerAnalysis) pools membership
+        # and null-distribution caches across auditors.
+        self.engine = (
+            engine if engine is not None else MonteCarloEngine(self.coords)
+        )
 
     def membership(self, regions: RegionSet) -> RegionMembership:
         """The (cached) point-membership index for a region set.
@@ -288,16 +301,7 @@ class _ScanAuditorBase:
         -------
         RegionMembership
         """
-        member = self._member_cache.get(regions)
-        if member is None:
-            member = RegionMembership(regions, self.coords)
-            self._member_cache[regions] = member
-        return member
-
-    @staticmethod
-    def _world_chunks(n_points: int, n_worlds: int) -> int:
-        """Worlds per chunk keeping the simulation matrix ~200 MB."""
-        return max(8, min(n_worlds, int(2.5e7 / max(n_points, 1)) + 1))
+        return self.engine.membership(regions)
 
     @staticmethod
     def _assemble(
@@ -392,8 +396,13 @@ class SpatialFairnessAuditor(_ScanAuditorBase):
     True
     """
 
-    def __init__(self, coords: np.ndarray, labels: np.ndarray):
-        super().__init__(coords)
+    def __init__(
+        self,
+        coords: np.ndarray,
+        labels: np.ndarray,
+        engine: MonteCarloEngine | None = None,
+    ):
+        super().__init__(coords, engine=engine)
         self.labels = np.asarray(labels).astype(np.int8).ravel()
         if len(self.labels) != len(self.coords):
             raise ValueError(
@@ -408,6 +417,7 @@ class SpatialFairnessAuditor(_ScanAuditorBase):
         seed: int | None = None,
         direction: str | None = None,
         membership: RegionMembership | None = None,
+        workers: int | None = None,
     ) -> AuditResult:
         """Run the Monte Carlo scan over a candidate region set.
 
@@ -434,6 +444,10 @@ class SpatialFairnessAuditor(_ScanAuditorBase):
             statistic.
         membership : RegionMembership, optional
             Precomputed membership index (else built/cached).
+        workers : int, optional
+            Monte Carlo worker processes (see
+            :meth:`repro.engine.MonteCarloEngine.null_distribution`);
+            results are bit-identical for any worker count.
 
         Returns
         -------
@@ -444,75 +458,28 @@ class SpatialFairnessAuditor(_ScanAuditorBase):
         member = membership or self.membership(regions)
         N = len(self.coords)
         P = int(self.labels.sum())
-        rho = P / N
         n = member.counts.astype(np.float64)
         p = member.positive_counts(self.labels.astype(np.float64))
         llr = bernoulli_llr(n, p, N, P, direction=d)
 
-        rng = np.random.default_rng(seed)
-        null_max = np.empty(n_worlds)
-        chunk = self._world_chunks(N, n_worlds)
-        for start in range(0, n_worlds, chunk):
-            w = min(chunk, n_worlds - start)
-            worlds = (rng.random((N, w)) < rho).astype(np.float32)
-            world_p = member.positive_counts_batch(worlds)
-            world_P = worlds.sum(axis=0, dtype=np.float64)
-            world_llr = _world_bernoulli_llr(n, world_p, N, world_P, d)
-            null_max[start : start + w] = world_llr.max(axis=0)
+        null_max = self.engine.null_distribution(
+            member,
+            BernoulliKernel(N, P, direction=d),
+            n_worlds,
+            seed=seed,
+            workers=workers,
+        )
 
         with np.errstate(invalid="ignore"):
             rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
             rho_out = np.where(
-                N - n > 0, (P - p) / np.maximum(N - n, 1.0), rho
+                N - n > 0, (P - p) / np.maximum(N - n, 1.0), P / N
             )
         dir_arr = np.sign(rho_in - rho_out).astype(int)
         return self._assemble(
             regions, member, n, p, llr, rho_in, dir_arr, null_max,
             alpha, d, N, P,
         )
-
-
-def _world_bernoulli_llr(
-    n: np.ndarray,
-    world_p: np.ndarray,
-    N: int,
-    world_P: np.ndarray,
-    direction: int,
-) -> np.ndarray:
-    """Bernoulli LLR for a batch of simulated worlds.
-
-    Each world has its own global positive total ``world_P[w]``; the
-    statistic must be computed against that world's own rate, exactly
-    as for the observed data.
-    """
-    from scipy.special import xlogy
-
-    n = n[:, None]
-    P = world_P[None, :]
-    p = world_p
-    n_out = N - n
-    p_out = P - p
-    with np.errstate(divide="ignore", invalid="ignore"):
-        rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
-        rho_out = np.where(
-            n_out > 0, p_out / np.maximum(n_out, 1.0), 0.0
-        )
-        rho = P / N
-    llr = (
-        xlogy(p, np.maximum(rho_in, 1e-300))
-        + xlogy(n - p, np.maximum(1.0 - rho_in, 1e-300))
-        + xlogy(p_out, np.maximum(rho_out, 1e-300))
-        + xlogy(n_out - p_out, np.maximum(1.0 - rho_out, 1e-300))
-        - xlogy(P, np.maximum(rho, 1e-300))
-        - xlogy(N - P, np.maximum(1.0 - rho, 1e-300))
-    )
-    llr = np.maximum(llr, 0.0)
-    llr = np.where((n <= 0) | (n >= N), 0.0, llr)
-    if direction > 0:
-        llr = np.where(rho_in > rho_out, llr, 0.0)
-    elif direction < 0:
-        llr = np.where(rho_in < rho_out, llr, 0.0)
-    return llr
 
 
 class PoissonSpatialAuditor(_ScanAuditorBase):
@@ -539,8 +506,9 @@ class PoissonSpatialAuditor(_ScanAuditorBase):
         coords: np.ndarray,
         observed: np.ndarray,
         forecast: np.ndarray,
+        engine: MonteCarloEngine | None = None,
     ):
-        super().__init__(coords)
+        super().__init__(coords, engine=engine)
         self.observed = np.asarray(observed, dtype=np.float64).ravel()
         self.forecast = np.asarray(forecast, dtype=np.float64).ravel()
         if not (
@@ -560,6 +528,7 @@ class PoissonSpatialAuditor(_ScanAuditorBase):
         seed: int | None = None,
         direction: str | None = None,
         membership: RegionMembership | None = None,
+        workers: int | None = None,
     ) -> AuditResult:
         """Monte Carlo Poisson scan of observed vs forecast counts.
 
@@ -569,7 +538,7 @@ class PoissonSpatialAuditor(_ScanAuditorBase):
 
         Parameters
         ----------
-        regions, n_worlds, alpha, seed, direction, membership
+        regions, n_worlds, alpha, seed, direction, membership, workers
             As in :meth:`SpatialFairnessAuditor.audit`; ``direction``
             +1 hunts excess regions (observed above forecast), -1
             deficits.
@@ -589,21 +558,13 @@ class PoissonSpatialAuditor(_ScanAuditorBase):
         exp_r = member.positive_counts(expected)
         llr = poisson_llr(obs_r, exp_r, O, direction=d)
 
-        rng = np.random.default_rng(seed)
-        probs = expected / O
-        null_max = np.empty(n_worlds)
-        chunk = self._world_chunks(len(self.coords), n_worlds)
-        O_int = int(round(O))
-        for start in range(0, n_worlds, chunk):
-            w = min(chunk, n_worlds - start)
-            worlds = rng.multinomial(O_int, probs, size=w).T.astype(
-                np.float32
-            )
-            world_obs = member.positive_counts_batch(worlds)
-            world_llr = poisson_llr(
-                world_obs, exp_r[:, None], O, direction=d
-            )
-            null_max[start : start + w] = world_llr.max(axis=0)
+        null_max = self.engine.null_distribution(
+            member,
+            PoissonKernel(expected, O, direction=d),
+            n_worlds,
+            seed=seed,
+            workers=workers,
+        )
 
         with np.errstate(divide="ignore", invalid="ignore"):
             ratio = np.where(exp_r > 0, obs_r / np.maximum(exp_r, 1e-300),
@@ -631,9 +592,13 @@ class MultinomialSpatialAuditor(_ScanAuditorBase):
     """
 
     def __init__(
-        self, coords: np.ndarray, labels: np.ndarray, n_classes: int
+        self,
+        coords: np.ndarray,
+        labels: np.ndarray,
+        n_classes: int,
+        engine: MonteCarloEngine | None = None,
     ):
-        super().__init__(coords)
+        super().__init__(coords, engine=engine)
         self.labels = np.asarray(labels).astype(np.int64).ravel()
         self.n_classes = int(n_classes)
         if len(self.labels) != len(self.coords):
@@ -692,6 +657,7 @@ class MultinomialSpatialAuditor(_ScanAuditorBase):
         alpha: float = 0.05,
         seed: int | None = None,
         membership: RegionMembership | None = None,
+        workers: int | None = None,
     ) -> AuditResult:
         """Monte Carlo multinomial scan.
 
@@ -700,7 +666,7 @@ class MultinomialSpatialAuditor(_ScanAuditorBase):
 
         Parameters
         ----------
-        regions, n_worlds, alpha, seed, membership
+        regions, n_worlds, alpha, seed, membership, workers
             As in :meth:`SpatialFairnessAuditor.audit`.
 
         Returns
@@ -714,7 +680,6 @@ class MultinomialSpatialAuditor(_ScanAuditorBase):
         N = len(self.coords)
         K = self.n_classes
         totals = np.bincount(self.labels, minlength=K).astype(np.float64)
-        g = totals / N
 
         n = member.counts.astype(np.float64)
         class_counts = np.stack(
@@ -727,49 +692,13 @@ class MultinomialSpatialAuditor(_ScanAuditorBase):
         )
         llr = self._class_llr(n, class_counts, N, totals)
 
-        rng = np.random.default_rng(seed)
-        cum = np.cumsum(g)
-        null_max = np.empty(n_worlds)
-        chunk = self._world_chunks(N * K, n_worlds)
-        for start in range(0, n_worlds, chunk):
-            w = min(chunk, n_worlds - start)
-            u = rng.random((N, w))
-            world_labels = np.searchsorted(cum, u)  # (N, w) ints < K
-            world_class = np.empty((K, len(member), w))
-            world_totals = np.empty((K, w))
-            for k in range(K):
-                ind = (world_labels == k).astype(np.float32)
-                world_class[k] = member.positive_counts_batch(ind)
-                world_totals[k] = ind.sum(axis=0, dtype=np.float64)
-            # Per-world global totals differ; compute LLR world-wise
-            # against each world's own distribution.
-            world_llr = np.zeros((len(member), w))
-            from scipy.special import xlogy
-
-            n_col = n[:, None]
-            n_out = N - n_col
-            for k in range(K):
-                c = world_class[k]
-                C = world_totals[k][None, :]
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    rho = np.where(
-                        n_col > 0, c / np.maximum(n_col, 1.0), 0.0
-                    )
-                    q = np.where(
-                        n_out > 0,
-                        (C - c) / np.maximum(n_out, 1.0),
-                        0.0,
-                    )
-                world_llr = world_llr + (
-                    xlogy(c, np.maximum(rho, 1e-300))
-                    + xlogy(C - c, np.maximum(q, 1e-300))
-                    - xlogy(C, np.maximum(C / N, 1e-300))
-                )
-            world_llr = np.maximum(world_llr, 0.0)
-            world_llr = np.where(
-                (n_col <= 0) | (n_col >= N), 0.0, world_llr
-            )
-            null_max[start : start + w] = world_llr.max(axis=0)
+        null_max = self.engine.null_distribution(
+            member,
+            MultinomialKernel(N, totals),
+            n_worlds,
+            seed=seed,
+            workers=workers,
+        )
 
         with np.errstate(invalid="ignore"):
             rates = np.where(
@@ -954,6 +883,9 @@ class PowerAnalysis:
         Significance level.
     seed : int, optional
         Master seed; per-trial seeds are derived from it.
+    workers : int, optional
+        Monte Carlo worker processes for every trial audit (see
+        :meth:`repro.engine.MonteCarloEngine.null_distribution`).
     """
 
     def __init__(
@@ -963,15 +895,18 @@ class PowerAnalysis:
         n_worlds: int = 99,
         alpha: float = 0.05,
         seed: int | None = None,
+        workers: int | None = None,
     ):
         self.coords = np.asarray(coords, dtype=np.float64)
         self.regions = regions
         self.n_worlds = int(n_worlds)
         self.alpha = float(alpha)
         self.seed = seed
-        # One membership index serves every trial: locations are fixed
-        # by the design, only labels vary.
-        self._member = RegionMembership(regions, self.coords)
+        # One engine serves every trial: locations are fixed by the
+        # design, only labels vary, so the membership index (and any
+        # reusable null distributions) are shared across audits.
+        self.engine = MonteCarloEngine(self.coords, workers=workers)
+        self._member = self.engine.membership(regions)
 
     def power_at(
         self,
@@ -1009,7 +944,9 @@ class PowerAnalysis:
             labels = (rng.random(len(self.coords)) < rates).astype(
                 np.int8
             )
-            auditor = SpatialFairnessAuditor(self.coords, labels)
+            auditor = SpatialFairnessAuditor(
+                self.coords, labels, engine=self.engine
+            )
             result = auditor.audit(
                 self.regions,
                 n_worlds=self.n_worlds,

@@ -1,0 +1,650 @@
+"""Shared parallel Monte Carlo engine for the scan auditors.
+
+The audit's cost is dominated by the M x N x Q world loop (simulate a
+null world, recount every region, take the max statistic).  PR 1 left
+that loop duplicated inside each auditor; this module centralises it:
+
+* :class:`MonteCarloEngine` owns world simulation, chunking, the sparse
+  membership mat-vec recount, null-distribution caching, and an
+  optional multiprocessing path (``workers=N``);
+* the per-family statistics plug in as :class:`LLRKernel` subclasses —
+  :class:`BernoulliKernel` (binary outcomes), :class:`PoissonKernel`
+  (observed vs forecast counts), :class:`MultinomialKernel`
+  (categorical outcomes).
+
+Determinism contract
+--------------------
+The engine splits the world budget into chunks whose layout depends
+only on ``(kernel.chunk_points, n_worlds)`` — never on the worker
+count — and simulates each chunk from its own child of one
+:class:`numpy.random.SeedSequence` spawned off ``seed``.  Chunks are
+therefore independent computations, and the null distribution (hence
+verdicts, critical values and significant-region sets) is bit-identical
+whether the chunks run serially or on any number of workers.
+
+Parallel path
+-------------
+``workers >= 2`` forks a process pool (POSIX only; other platforms fall
+back to serial).  The read-only inputs — the bound kernel and the
+sparse membership matrix — reach the workers through fork
+copy-on-write, and each worker writes its chunks' per-world maxima
+directly into one :class:`multiprocessing.shared_memory.SharedMemory`
+buffer, so no world batch is ever pickled or copied between processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+from scipy.special import xlogy
+
+from .index import RegionMembership
+from .stats import poisson_llr
+
+__all__ = [
+    "MonteCarloEngine",
+    "LLRKernel",
+    "BernoulliKernel",
+    "PoissonKernel",
+    "MultinomialKernel",
+    "world_chunk_size",
+]
+
+#: Worlds simulated per chunk aim to keep the (points x worlds) batch
+#: near this many matrix entries (~200 MB of float64 intermediates).
+_CHUNK_ENTRIES = 2.5e7
+
+#: Lower bound on worlds per chunk: below this the sparse mat-vec loses
+#: its batching advantage.
+_MIN_CHUNK = 8
+
+#: Upper bound on the number of chunks a run is split into (memory
+#: permitting); keeps per-chunk overhead negligible while leaving
+#: enough chunks for a pool of workers to balance.
+_TARGET_CHUNKS = 16
+
+
+def world_chunk_size(n_points: int, n_worlds: int) -> int:
+    """Worlds per simulation chunk.
+
+    A pure function of the workload — never of the worker count — so
+    the chunk layout (and with it the per-chunk random streams) is
+    identical for serial and parallel runs.
+
+    Parameters
+    ----------
+    n_points : int
+        Entries per simulated world column (``n`` points, or ``n * K``
+        for a K-class multinomial world).
+    n_worlds : int
+        Total world budget.
+
+    Returns
+    -------
+    int
+        Chunk size in worlds, at least ``min(n_worlds, 8)``.
+    """
+    n_worlds = int(n_worlds)
+    memory_cap = int(_CHUNK_ENTRIES / max(int(n_points), 1)) + 1
+    fan_out = -(-n_worlds // _TARGET_CHUNKS)  # ceil division
+    size = max(_MIN_CHUNK, min(memory_cap, max(fan_out, _MIN_CHUNK)))
+    return max(1, min(n_worlds, size))
+
+
+class LLRKernel:
+    """One outcome family's Monte Carlo statistics.
+
+    A kernel knows how to *simulate* a batch of null worlds and how to
+    *score* every region of every simulated world with the family's
+    log-likelihood ratio.  The engine supplies chunking, seeding,
+    caching and parallelism around it.
+
+    Subclasses implement :meth:`simulate`, :meth:`score`,
+    :attr:`chunk_points` and :meth:`cache_key`, and may extend
+    :meth:`bind` to precompute member-dependent arrays.
+    """
+
+    #: Family tag used in cache keys and reprs.
+    family = "base"
+
+    def __init__(self) -> None:
+        self._member: RegionMembership | None = None
+
+    def bind(self, member: RegionMembership) -> "LLRKernel":
+        """Attach the membership index the scores will be counted
+        through.  Called once by the engine before the chunk loop.
+
+        Parameters
+        ----------
+        member : RegionMembership
+
+        Returns
+        -------
+        LLRKernel
+            ``self``, for chaining.
+        """
+        self._member = member
+        return self
+
+    @property
+    def member(self) -> RegionMembership:
+        """The bound membership index (raises if unbound)."""
+        if self._member is None:
+            raise RuntimeError(
+                f"{type(self).__name__} must be bound to a "
+                "RegionMembership before scoring"
+            )
+        return self._member
+
+    @property
+    def chunk_points(self) -> int:
+        """Matrix entries per simulated world column (drives chunking)."""
+        raise NotImplementedError
+
+    def cache_key(self) -> tuple:
+        """Hashable key capturing everything that shapes the null
+        distribution besides ``(member, n_worlds, seed)``."""
+        raise NotImplementedError
+
+    def simulate(self, rng: np.random.Generator, n_worlds: int) -> np.ndarray:
+        """Draw a batch of null worlds.
+
+        Parameters
+        ----------
+        rng : numpy.random.Generator
+            The chunk's private generator.
+        n_worlds : int
+            Worlds in this chunk.
+
+        Returns
+        -------
+        ndarray
+            World batch with one column per world; the exact layout is
+            the kernel's own (``score`` must understand it).
+        """
+        raise NotImplementedError
+
+    def score(self, worlds: np.ndarray) -> np.ndarray:
+        """Log-likelihood ratio of every region in every world.
+
+        Parameters
+        ----------
+        worlds : ndarray
+            A batch returned by :meth:`simulate`.
+
+        Returns
+        -------
+        ndarray of shape (n_regions, n_worlds)
+        """
+        raise NotImplementedError
+
+
+def _bernoulli_batch_llr(
+    n: np.ndarray,
+    world_p: np.ndarray,
+    N: float,
+    world_P: np.ndarray,
+    direction: int,
+) -> np.ndarray:
+    """Bernoulli LLR for a batch of simulated worlds.
+
+    Each world has its own global positive total ``world_P[w]``; the
+    statistic must be computed against that world's own rate, exactly
+    as for the observed data.
+    """
+    n = n[:, None]
+    P = world_P[None, :]
+    p = world_p
+    n_out = N - n
+    p_out = P - p
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
+        rho_out = np.where(
+            n_out > 0, p_out / np.maximum(n_out, 1.0), 0.0
+        )
+        rho = P / N
+    llr = (
+        xlogy(p, np.maximum(rho_in, 1e-300))
+        + xlogy(n - p, np.maximum(1.0 - rho_in, 1e-300))
+        + xlogy(p_out, np.maximum(rho_out, 1e-300))
+        + xlogy(n_out - p_out, np.maximum(1.0 - rho_out, 1e-300))
+        - xlogy(P, np.maximum(rho, 1e-300))
+        - xlogy(N - P, np.maximum(1.0 - rho, 1e-300))
+    )
+    llr = np.maximum(llr, 0.0)
+    llr = np.where((n <= 0) | (n >= N), 0.0, llr)
+    if direction > 0:
+        llr = np.where(rho_in > rho_out, llr, 0.0)
+    elif direction < 0:
+        llr = np.where(rho_in < rho_out, llr, 0.0)
+    return llr
+
+
+class BernoulliKernel(LLRKernel):
+    """Null worlds for binary outcomes: labels redrawn i.i.d. Bernoulli
+    at the global positive rate, locations fixed (the paper's SUL null).
+
+    Parameters
+    ----------
+    n_points : int
+        Total observations ``N``.
+    total_p : float
+        Global positive count ``P``; the simulation rate is ``P / N``.
+    direction : {0, 1, -1}, default 0
+        Directional scan filter, as in :func:`repro.stats.bernoulli_llr`.
+    """
+
+    family = "bernoulli"
+
+    def __init__(self, n_points: int, total_p: float, direction: int = 0):
+        super().__init__()
+        self.n_points = int(n_points)
+        self.total_p = float(total_p)
+        self.rate = self.total_p / max(self.n_points, 1)
+        self.direction = int(direction)
+        self._n: np.ndarray | None = None
+
+    def bind(self, member: RegionMembership) -> "BernoulliKernel":
+        super().bind(member)
+        self._n = member.counts.astype(np.float64)
+        return self
+
+    @property
+    def chunk_points(self) -> int:
+        return self.n_points
+
+    def cache_key(self) -> tuple:
+        return (self.family, self.n_points, self.total_p, self.direction)
+
+    def simulate(self, rng: np.random.Generator, n_worlds: int) -> np.ndarray:
+        return (
+            rng.random((self.n_points, n_worlds)) < self.rate
+        ).astype(np.float32)
+
+    def score(self, worlds: np.ndarray) -> np.ndarray:
+        world_p = self.member.positive_counts_batch(worlds)
+        world_P = worlds.sum(axis=0, dtype=np.float64)
+        return _bernoulli_batch_llr(
+            self._n, world_p, float(self.n_points), world_P, self.direction
+        )
+
+
+class PoissonKernel(LLRKernel):
+    """Null worlds for observed-vs-forecast counts: the observed event
+    total redistributed over areas with probabilities proportional to
+    the (scaled) forecast — the conditional multinomial simulation that
+    makes the Poisson scan exact given the total.
+
+    Parameters
+    ----------
+    expected : ndarray of shape (n_points,)
+        Per-area expected counts, already scaled so they sum to the
+        observed total.
+    total_obs : float
+        Total observed events ``O``.
+    direction : {0, 1, -1}, default 0
+        +1 hunts excess regions, -1 deficits.
+    """
+
+    family = "poisson"
+
+    def __init__(
+        self, expected: np.ndarray, total_obs: float, direction: int = 0
+    ):
+        super().__init__()
+        self.expected = np.asarray(expected, dtype=np.float64).ravel()
+        self.total_obs = float(total_obs)
+        self.total_obs_int = int(round(self.total_obs))
+        self.probs = self.expected / self.total_obs
+        self.direction = int(direction)
+        self._exp_r: np.ndarray | None = None
+
+    def bind(self, member: RegionMembership) -> "PoissonKernel":
+        super().bind(member)
+        self._exp_r = member.positive_counts(self.expected)
+        return self
+
+    @property
+    def chunk_points(self) -> int:
+        return len(self.expected)
+
+    def cache_key(self) -> tuple:
+        digest = hashlib.sha1(self.expected.tobytes()).hexdigest()
+        return (self.family, self.total_obs_int, digest, self.direction)
+
+    def simulate(self, rng: np.random.Generator, n_worlds: int) -> np.ndarray:
+        return rng.multinomial(
+            self.total_obs_int, self.probs, size=n_worlds
+        ).T.astype(np.float32)
+
+    def score(self, worlds: np.ndarray) -> np.ndarray:
+        world_obs = self.member.positive_counts_batch(worlds)
+        return poisson_llr(
+            world_obs,
+            self._exp_r[:, None],
+            self.total_obs,
+            direction=self.direction,
+        )
+
+
+class MultinomialKernel(LLRKernel):
+    """Null worlds for categorical outcomes: every label redrawn i.i.d.
+    from the global class distribution, locations fixed.
+
+    Parameters
+    ----------
+    n_points : int
+        Total observations ``N``.
+    class_totals : ndarray of shape (K,)
+        Global per-class counts.
+    """
+
+    family = "multinomial"
+
+    def __init__(self, n_points: int, class_totals: np.ndarray):
+        super().__init__()
+        self.n_points = int(n_points)
+        self.class_totals = np.asarray(
+            class_totals, dtype=np.float64
+        ).ravel()
+        self.n_classes = len(self.class_totals)
+        self._cum = np.cumsum(self.class_totals / self.n_points)
+        self._n: np.ndarray | None = None
+
+    def bind(self, member: RegionMembership) -> "MultinomialKernel":
+        super().bind(member)
+        self._n = member.counts.astype(np.float64)
+        return self
+
+    @property
+    def chunk_points(self) -> int:
+        # One indicator matrix per class passes through the mat-vec.
+        return self.n_points * self.n_classes
+
+    def cache_key(self) -> tuple:
+        return (
+            self.family,
+            self.n_points,
+            tuple(float(t) for t in self.class_totals),
+        )
+
+    def simulate(self, rng: np.random.Generator, n_worlds: int) -> np.ndarray:
+        u = rng.random((self.n_points, n_worlds))
+        return np.searchsorted(self._cum, u)  # (N, w) int labels < K
+
+    def score(self, worlds: np.ndarray) -> np.ndarray:
+        N = float(self.n_points)
+        n = self._n[:, None]
+        n_out = N - n
+        llr = np.zeros((len(self.member), worlds.shape[1]))
+        for k in range(self.n_classes):
+            ind = (worlds == k).astype(np.float32)
+            c = self.member.positive_counts_batch(ind)
+            C = ind.sum(axis=0, dtype=np.float64)[None, :]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rho = np.where(n > 0, c / np.maximum(n, 1.0), 0.0)
+                q = np.where(
+                    n_out > 0, (C - c) / np.maximum(n_out, 1.0), 0.0
+                )
+            llr = llr + (
+                xlogy(c, np.maximum(rho, 1e-300))
+                + xlogy(C - c, np.maximum(q, 1e-300))
+                - xlogy(C, np.maximum(C / N, 1e-300))
+            )
+        llr = np.maximum(llr, 0.0)
+        llr = np.where((n <= 0) | (n >= N), 0.0, llr)
+        return llr
+
+
+# Read-only state the forked pool workers inherit copy-on-write.  Only
+# ever populated in the parent immediately before the fork (under
+# _FORK_LOCK, so concurrent engines cannot corrupt each other's runs);
+# workers never mutate it.
+_FORK_STATE: dict = {}
+_FORK_LOCK = threading.Lock()
+
+
+def _attach_worker(shm_name: str, n_worlds: int) -> None:
+    """Pool initializer: map the shared null-max buffer once per worker."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _FORK_STATE["shm"] = shm
+    _FORK_STATE["out"] = np.ndarray(
+        (n_worlds,), dtype=np.float64, buffer=shm.buf
+    )
+
+
+def _run_chunk(chunk_id: int) -> int:
+    """Simulate and score one chunk, writing its per-world maxima into
+    the shared buffer.  Runs inside a forked pool worker."""
+    kernel = _FORK_STATE["kernel"]
+    start, width = _FORK_STATE["chunks"][chunk_id]
+    rng = np.random.default_rng(_FORK_STATE["seeds"][chunk_id])
+    worlds = kernel.simulate(rng, width)
+    llr = kernel.score(worlds)
+    _FORK_STATE["out"][start : start + width] = llr.max(axis=0)
+    return chunk_id
+
+
+class MonteCarloEngine:
+    """The shared Monte Carlo scan core.
+
+    One engine serves any number of audits over the same coordinates:
+    it caches the membership index per candidate :class:`RegionSet`
+    (weakly, so region sets can be garbage collected) and the simulated
+    null max-statistic distribution per
+    ``(membership, kernel, n_worlds, seed)`` — repeated audits of the
+    same design reuse the simulated worlds outright.
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+        Observation locations the audits share.
+    workers : int, optional
+        Default worker count for :meth:`null_distribution`; ``None`` or
+        ``1`` runs serially.  Results are bit-identical either way.
+    cache_size : int, default 8
+        Null distributions retained per membership index (LRU).
+
+    Attributes
+    ----------
+    cache_hits, cache_misses : int
+        Null-distribution cache counters (diagnostics).
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        workers: int | None = None,
+        cache_size: int = 8,
+    ):
+        self.coords = np.asarray(coords, dtype=np.float64)
+        self.workers = workers
+        self.cache_size = int(cache_size)
+        self._member_cache: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._null_cache: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def membership(self, regions) -> RegionMembership:
+        """The (cached) point-membership index for a region set.
+
+        Parameters
+        ----------
+        regions : RegionSet
+
+        Returns
+        -------
+        RegionMembership
+        """
+        member = self._member_cache.get(regions)
+        if member is None:
+            member = RegionMembership(regions, self.coords)
+            self._member_cache[regions] = member
+        return member
+
+    @staticmethod
+    def chunk_layout(
+        chunk_points: int, n_worlds: int, chunk_worlds: int | None = None
+    ) -> list:
+        """The deterministic ``(start, width)`` chunk spans of a run.
+
+        Parameters
+        ----------
+        chunk_points : int
+            Matrix entries per world column (``kernel.chunk_points``).
+        n_worlds : int
+        chunk_worlds : int, optional
+            Explicit chunk size override (tests); defaults to
+            :func:`world_chunk_size`.
+
+        Returns
+        -------
+        list of (int, int)
+        """
+        if chunk_worlds is None:
+            chunk_worlds = world_chunk_size(chunk_points, n_worlds)
+        chunk_worlds = max(1, int(chunk_worlds))
+        return [
+            (start, min(chunk_worlds, n_worlds - start))
+            for start in range(0, n_worlds, chunk_worlds)
+        ]
+
+    def null_distribution(
+        self,
+        member: RegionMembership,
+        kernel: LLRKernel,
+        n_worlds: int,
+        seed: int | None = None,
+        workers: int | None = None,
+        chunk_worlds: int | None = None,
+    ) -> np.ndarray:
+        """The null max-statistic distribution of a scan design.
+
+        Simulates ``n_worlds`` null worlds chunk by chunk through
+        ``kernel`` and returns each world's maximum region statistic.
+        Identical designs at the same integer ``seed`` are answered
+        from the cache without re-simulating.
+
+        Parameters
+        ----------
+        member : RegionMembership
+            The candidate regions' membership index.
+        kernel : LLRKernel
+            The outcome family's simulate/score pair.
+        n_worlds : int
+        seed : int, optional
+            Master seed; per-chunk streams are spawned from it.  When
+            ``None`` the run is unseeded (and never cached).
+        workers : int, optional
+            Process count; overrides the engine default.  ``>= 2``
+            forks a pool (POSIX), anything else runs serially; the
+            result is bit-identical either way.  An explicit request
+            is honoured even beyond the machine's usable cores
+            (oversubscription costs wall-clock, never correctness) —
+            callers wanting auto-sizing should pass
+            ``len(os.sched_getaffinity(0))``.
+        chunk_worlds : int, optional
+            Chunk size override (tests/benchmarks); the default is
+            :func:`world_chunk_size` of the workload.
+
+        Returns
+        -------
+        ndarray of float64, shape (n_worlds,)
+        """
+        n_worlds = int(n_worlds)
+        key = None
+        if seed is not None:
+            key = (kernel.cache_key(), n_worlds, int(seed), chunk_worlds)
+            per_member = self._null_cache.get(member)
+            if per_member is not None and key in per_member:
+                self.cache_hits += 1
+                per_member.move_to_end(key)
+                return per_member[key].copy()
+            self.cache_misses += 1
+
+        kernel.bind(member)
+        chunks = self.chunk_layout(
+            kernel.chunk_points, n_worlds, chunk_worlds
+        )
+        seeds = np.random.SeedSequence(seed).spawn(len(chunks))
+        workers = self.workers if workers is None else workers
+        n_procs = min(int(workers or 1), len(chunks))
+        if n_procs >= 2 and hasattr(os, "fork"):
+            null_max = self._null_parallel(
+                kernel, chunks, seeds, n_worlds, n_procs
+            )
+        else:
+            null_max = self._null_serial(kernel, chunks, seeds, n_worlds)
+
+        if key is not None:
+            per_member = self._null_cache.setdefault(member, OrderedDict())
+            per_member[key] = null_max.copy()
+            while len(per_member) > self.cache_size:
+                per_member.popitem(last=False)
+        return null_max
+
+    @staticmethod
+    def _null_serial(
+        kernel: LLRKernel, chunks: list, seeds: list, n_worlds: int
+    ) -> np.ndarray:
+        null_max = np.empty(n_worlds)
+        for (start, width), child in zip(chunks, seeds):
+            rng = np.random.default_rng(child)
+            worlds = kernel.simulate(rng, width)
+            llr = kernel.score(worlds)
+            null_max[start : start + width] = llr.max(axis=0)
+        return null_max
+
+    @staticmethod
+    def _null_parallel(
+        kernel: LLRKernel,
+        chunks: list,
+        seeds: list,
+        n_worlds: int,
+        n_procs: int,
+    ) -> np.ndarray:
+        import multiprocessing
+        from multiprocessing import shared_memory
+
+        ctx = multiprocessing.get_context("fork")
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(n_worlds * 8, 8)
+        )
+        # The lock spans populate -> fork -> clear: a concurrent run
+        # must not overwrite the state another pool is about to
+        # inherit.
+        with _FORK_LOCK:
+            _FORK_STATE["kernel"] = kernel
+            _FORK_STATE["chunks"] = chunks
+            _FORK_STATE["seeds"] = seeds
+            try:
+                with ctx.Pool(
+                    processes=n_procs,
+                    initializer=_attach_worker,
+                    initargs=(shm.name, n_worlds),
+                ) as pool:
+                    # Unordered is safe: each chunk owns a disjoint
+                    # slice of the shared buffer.
+                    for _ in pool.imap_unordered(
+                        _run_chunk, range(len(chunks))
+                    ):
+                        pass
+                out = np.ndarray(
+                    (n_worlds,), dtype=np.float64, buffer=shm.buf
+                ).copy()
+            finally:
+                _FORK_STATE.clear()
+                shm.close()
+                shm.unlink()
+        return out

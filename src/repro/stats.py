@@ -15,9 +15,24 @@ __all__ = [
     "bernoulli_llr",
     "poisson_llr",
     "binom_test",
+    "binom_sf_vector",
+    "binom_cdf_vector",
     "BinomTestResult",
     "benjamini_hochberg",
 ]
+
+
+def _check_probability(p: float) -> float:
+    """Validate a null probability: finite and within ``[0, 1]``.
+
+    scipy's ``binom`` silently returns ``nan`` (or an impossible 0.0)
+    for out-of-range ``p``; the audit would then propagate garbage
+    p-values, so reject such inputs loudly instead.
+    """
+    p = float(p)
+    if not 0.0 <= p <= 1.0:  # also catches nan
+        raise ValueError(f"p must be a probability in [0, 1], got {p}")
+    return p
 
 
 def _xlogy(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -26,7 +41,9 @@ def _xlogy(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     y = np.asarray(y, dtype=np.float64)
     out = np.zeros(np.broadcast(x, y).shape)
     mask = x > 0
-    out[mask] = x[mask] * np.log(np.broadcast_to(y, out.shape)[mask])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # y == 0 with x > 0 gives -inf, which callers clamp away.
+        out[mask] = x[mask] * np.log(np.broadcast_to(y, out.shape)[mask])
     return out
 
 
@@ -187,6 +204,11 @@ def binom_test(
     -------
     BinomTestResult
 
+    Raises
+    ------
+    ValueError
+        When ``k`` is outside ``[0, n]`` or ``p`` outside ``[0, 1]``.
+
     Examples
     --------
     >>> binom_test(0, 5, 0.5, alternative="less").p_value
@@ -198,6 +220,7 @@ def binom_test(
     n = int(n)
     if not 0 <= k <= n:
         raise ValueError(f"need 0 <= k <= n, got k={k}, n={n}")
+    p = _check_probability(p)
     if alternative == "less":
         pv = float(_binom.cdf(k, n, p))
     elif alternative == "greater":
@@ -215,16 +238,27 @@ def binom_test(
 
 def binom_sf_vector(k: np.ndarray, n: np.ndarray, p: float) -> np.ndarray:
     """Vector of upper-tail probabilities ``P(X >= k)`` (helper for the
-    naive per-region baseline)."""
+    naive per-region baseline).
+
+    Handles the edges exactly: ``k <= 0`` gives 1, ``k > n`` gives 0,
+    and degenerate nulls ``p`` of 0 or 1 give the point-mass answer.
+    Out-of-range ``p`` raises :class:`ValueError` instead of silently
+    returning ``nan``.
+    """
     from scipy.stats import binom as _binom
 
+    p = _check_probability(p)
     return np.asarray(_binom.sf(np.asarray(k) - 1, np.asarray(n), p))
 
 
 def binom_cdf_vector(k: np.ndarray, n: np.ndarray, p: float) -> np.ndarray:
-    """Vector of lower-tail probabilities ``P(X <= k)``."""
+    """Vector of lower-tail probabilities ``P(X <= k)``.
+
+    Same edge handling as :func:`binom_sf_vector`.
+    """
     from scipy.stats import binom as _binom
 
+    p = _check_probability(p)
     return np.asarray(_binom.cdf(np.asarray(k), np.asarray(n), p))
 
 

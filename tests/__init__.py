@@ -1,0 +1,7 @@
+"""Unit-test package.
+
+Being a package (not a loose directory) keeps ``tests/conftest.py``
+imported as ``tests.conftest`` rather than top-level ``conftest`` —
+which would otherwise collide with ``benchmarks/conftest.py`` when
+both suites are collected in one pytest invocation.
+"""

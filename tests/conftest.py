@@ -1,0 +1,61 @@
+"""Shared fixtures for the unit-test suite.
+
+Everything here is deliberately small: the whole suite must stay fast
+(no Monte Carlo run uses more than 49 worlds), so the datasets are a
+few hundred points with one strongly biased region that 49 worlds
+detect reliably.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GridPartitioning, Rect, partition_region_set
+
+#: The unit-test Monte Carlo budget (keep <= 49 per the suite rules).
+N_WORLDS = 49
+
+#: The injected bias region every golden dataset uses.
+BIAS_RECT = Rect(0.0, 0.0, 0.35, 0.35)
+
+
+@pytest.fixture(scope="session")
+def unit_coords():
+    rng = np.random.default_rng(100)
+    return rng.random((600, 2))
+
+
+@pytest.fixture(scope="session")
+def unit_regions():
+    grid = GridPartitioning.regular(Rect(0, 0, 1, 1), 5, 5)
+    return partition_region_set(grid)
+
+
+@pytest.fixture(scope="session")
+def biased_labels(unit_coords):
+    """Binary outcomes: rate 0.7 everywhere, 0.15 inside BIAS_RECT."""
+    rng = np.random.default_rng(101)
+    inside = BIAS_RECT.contains(unit_coords)
+    rates = np.where(inside, 0.15, 0.7)
+    return (rng.random(len(unit_coords)) < rates).astype(np.int8)
+
+
+@pytest.fixture(scope="session")
+def biased_counts(unit_coords):
+    """(observed, forecast) counts: forecast uniform, observed doubled
+    inside BIAS_RECT."""
+    rng = np.random.default_rng(102)
+    forecast = np.full(len(unit_coords), 4.0)
+    mean = np.where(BIAS_RECT.contains(unit_coords), 8.0, 4.0)
+    observed = rng.poisson(mean).astype(np.float64)
+    return observed, forecast
+
+
+@pytest.fixture(scope="session")
+def biased_classes(unit_coords):
+    """3-class labels: skewed towards class 2 inside BIAS_RECT."""
+    rng = np.random.default_rng(103)
+    inside = BIAS_RECT.contains(unit_coords)
+    u = rng.random(len(unit_coords))
+    labels = np.searchsorted(np.array([0.4, 0.75]), u)  # 40/35/25 mix
+    labels_biased = np.searchsorted(np.array([0.1, 0.2]), u)  # 10/10/80
+    return np.where(inside, labels_biased, labels).astype(np.int64)

@@ -1,0 +1,134 @@
+"""Regression tests for the exact binomial test's edge cases.
+
+Writing these surfaced one real defect: out-of-range null
+probabilities (p < 0, p > 1, nan) used to flow straight into scipy and
+come back as silent ``nan`` / impossible ``0.0`` p-values.  They now
+raise ``ValueError`` (see ``repro.stats._check_probability``); the
+legitimate edges k=0, k=n, p in {0, 1} keep their exact values, locked
+in here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    BinomTestResult,
+    binom_cdf_vector,
+    binom_sf_vector,
+    binom_test,
+)
+
+
+class TestBinomTestKnownValues:
+    def test_less_tail_exact(self):
+        assert binom_test(0, 5, 0.5, "less").p_value == pytest.approx(
+            0.03125
+        )
+
+    def test_greater_tail_exact(self):
+        assert binom_test(5, 5, 0.5, "greater").p_value == pytest.approx(
+            0.03125
+        )
+
+    def test_two_sided_symmetric(self):
+        # P(X<=3) + P(X>=7) for Binomial(10, 0.5) = 0.34375.
+        assert binom_test(3, 10, 0.5).p_value == pytest.approx(0.34375)
+
+    def test_two_sided_extremes(self):
+        assert binom_test(0, 5, 0.5).p_value == pytest.approx(0.0625)
+        assert binom_test(5, 5, 0.5).p_value == pytest.approx(0.0625)
+
+    def test_result_fields(self):
+        r = binom_test(2, 7, 0.3, "greater")
+        assert isinstance(r, BinomTestResult)
+        assert (r.k, r.n, r.p, r.alternative) == (2, 7, 0.3, "greater")
+
+
+class TestBinomTestEdges:
+    def test_k_zero_p_zero_is_certain(self):
+        # Under p=0 the only possible outcome is k=0.
+        for alt in ("two-sided", "less", "greater"):
+            assert binom_test(0, 5, 0.0, alt).p_value == 1.0
+
+    def test_k_n_p_one_is_certain(self):
+        for alt in ("two-sided", "greater"):
+            assert binom_test(5, 5, 1.0, alt).p_value == 1.0
+
+    def test_impossible_outcomes_have_zero_pvalue(self):
+        assert binom_test(3, 5, 1.0).p_value == 0.0
+        assert binom_test(0, 5, 1.0, "less").p_value == 0.0
+        assert binom_test(2, 5, 0.0, "greater").p_value == 0.0
+
+    def test_zero_trials(self):
+        for p in (0.0, 0.5, 1.0):
+            assert binom_test(0, 0, p).p_value == 1.0
+
+    def test_k_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            binom_test(-1, 5, 0.5)
+        with pytest.raises(ValueError):
+            binom_test(6, 5, 0.5)
+
+    @pytest.mark.parametrize("bad_p", [1.5, -0.2, float("nan")])
+    def test_invalid_probability_raises(self, bad_p):
+        with pytest.raises(ValueError, match="probability"):
+            binom_test(1, 5, bad_p)
+
+    def test_unknown_alternative_raises(self):
+        with pytest.raises(ValueError, match="alternative"):
+            binom_test(1, 5, 0.5, "sideways")
+
+
+class TestBinomVectors:
+    def test_sf_k_zero_is_one(self):
+        out = binom_sf_vector(np.array([0, 0]), np.array([5, 9]), 0.3)
+        assert out == pytest.approx([1.0, 1.0])
+
+    def test_sf_above_n_is_zero(self):
+        out = binom_sf_vector(np.array([6]), np.array([5]), 0.3)
+        assert out == pytest.approx([0.0])
+
+    def test_sf_degenerate_p(self):
+        # p=0: only k=0 reachable; p=1: all trials succeed.
+        assert binom_sf_vector(
+            np.array([0, 1]), np.array([5, 5]), 0.0
+        ) == pytest.approx([1.0, 0.0])
+        assert binom_sf_vector(
+            np.array([0, 5]), np.array([5, 5]), 1.0
+        ) == pytest.approx([1.0, 1.0])
+
+    def test_cdf_degenerate_p(self):
+        assert binom_cdf_vector(
+            np.array([0, 5]), np.array([5, 5]), 0.0
+        ) == pytest.approx([1.0, 1.0])
+        assert binom_cdf_vector(
+            np.array([0, 4, 5]), np.array([5, 5, 5]), 1.0
+        ) == pytest.approx([0.0, 0.0, 1.0])
+
+    def test_sf_matches_scalar_greater_test(self):
+        k = np.arange(0, 8)
+        n = np.full(8, 7)
+        out = binom_sf_vector(k, n, 0.4)
+        want = [binom_test(int(ki), 7, 0.4, "greater").p_value for ki in k]
+        assert out == pytest.approx(want)
+
+    def test_cdf_matches_scalar_less_test(self):
+        k = np.arange(0, 8)
+        n = np.full(8, 7)
+        out = binom_cdf_vector(k, n, 0.4)
+        want = [binom_test(int(ki), 7, 0.4, "less").p_value for ki in k]
+        assert out == pytest.approx(want)
+
+    def test_sf_cdf_complement(self):
+        k = np.arange(0, 6)
+        n = np.full(6, 5)
+        sf = binom_sf_vector(k + 1, n, 0.3)
+        cdf = binom_cdf_vector(k, n, 0.3)
+        assert sf + cdf == pytest.approx(np.ones(6))
+
+    @pytest.mark.parametrize("bad_p", [1.5, -0.2, float("nan")])
+    def test_invalid_probability_raises(self, bad_p):
+        with pytest.raises(ValueError, match="probability"):
+            binom_sf_vector(np.array([1]), np.array([5]), bad_p)
+        with pytest.raises(ValueError, match="probability"):
+            binom_cdf_vector(np.array([1]), np.array([5]), bad_p)

@@ -1,0 +1,187 @@
+"""Unit tests for :mod:`repro.geometry`: rectangles, region sets,
+grid partitionings, and scan-centre placement."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    GridPartitioning,
+    Rect,
+    circle_region_set,
+    paper_side_lengths,
+    partition_region_set,
+    random_partitionings,
+    scan_centers,
+    square_region_set,
+)
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(0.0, 0.0, 1.0, 2.0)
+        assert (r.width, r.height, r.area) == (1.0, 2.0, 2.0)
+        assert r.center == (0.5, 1.0)
+
+    def test_from_center(self):
+        r = Rect.from_center((1.0, 2.0), 0.5)
+        assert r.center == (1.0, 2.0)
+        assert r.width == pytest.approx(0.5)
+        assert r.height == pytest.approx(0.5)
+
+    def test_bounding_is_tight(self):
+        coords = np.array([[0.1, 0.2], [0.9, 0.4], [0.3, 0.8]])
+        r = Rect.bounding(coords)
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (0.1, 0.2, 0.9, 0.8)
+        assert r.contains(coords).all()
+
+    def test_contains_is_closed(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        corners = np.array([[0, 0], [1, 1], [0, 1], [1, 0]], dtype=float)
+        assert r.contains(corners).all()
+        assert not r.contains(np.array([1.0 + 1e-12, 0.5]))
+
+    def test_intersects_touching_edges(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.intersects(Rect(1, 0, 2, 1))  # shared edge counts
+        assert a.intersects(Rect(0.5, 0.5, 0.6, 0.6))  # containment
+        assert not a.intersects(Rect(1.1, 0, 2, 1))
+        assert not a.intersects(Rect(0, 1.1, 1, 2))
+
+    def test_expanded(self):
+        r = Rect(0, 0, 1, 1).expanded(0.25)
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (
+            -0.25, -0.25, 1.25, 1.25,
+        )
+
+
+class TestSquareRegions:
+    def test_every_center_times_every_side(self):
+        centers = np.array([[0.2, 0.2], [0.8, 0.8], [0.5, 0.1]])
+        sides = [0.1, 0.3]
+        regions = square_region_set(centers, sides)
+        assert len(regions) == 6
+        for i, region in enumerate(regions):
+            c, s = divmod(i, len(sides))
+            assert region.kind == "rect"
+            assert region.center_id == c
+            assert region.rect.center == pytest.approx(tuple(centers[c]))
+            assert region.rect.width == pytest.approx(sides[s])
+
+    def test_membership_matches_rect(self):
+        regions = square_region_set(np.array([[0.5, 0.5]]), [0.4])
+        pts = np.array([[0.5, 0.5], [0.69, 0.5], [0.71, 0.5]])
+        assert list(regions[0].contains(pts)) == [True, True, False]
+
+
+class TestCircleRegions:
+    def test_bounding_square_has_diameter_side(self):
+        regions = circle_region_set(np.array([[0.5, 0.5]]), [0.2])
+        region = regions[0]
+        assert region.kind == "circle"
+        assert region.radius == 0.2
+        assert region.rect.width == pytest.approx(0.4)
+        assert region.rect.center == pytest.approx((0.5, 0.5))
+
+    def test_membership_is_euclidean(self):
+        region = circle_region_set(np.array([[0.0, 0.0]]), [1.0])[0]
+        pts = np.array(
+            [[0, 0], [1, 0], [0, -1], [0.8, 0.8], [0.7, 0.7]],
+            dtype=float,
+        )
+        # (0.8, 0.8) is inside the bounding square but outside the
+        # circle; the boundary itself is inside (closed disc).
+        assert list(region.contains(pts)) == [
+            True, True, True, False, True,
+        ]
+
+    def test_circle_subset_of_bounding_square(self):
+        rng = np.random.default_rng(0)
+        region = circle_region_set(np.array([[0.4, 0.6]]), [0.3])[0]
+        pts = rng.random((500, 2))
+        in_circle = region.contains(pts)
+        in_square = region.rect.contains(pts)
+        assert (in_square | ~in_circle).all()  # circle implies square
+
+
+class TestScanCenters:
+    def test_centers_inside_data_bounds(self):
+        rng = np.random.default_rng(5)
+        # Two separated blobs, like the paper's metro areas.
+        coords = np.vstack(
+            [
+                0.05 * rng.standard_normal((400, 2)) + [0.25, 0.25],
+                0.05 * rng.standard_normal((400, 2)) + [0.75, 0.75],
+            ]
+        )
+        centers = scan_centers(coords, n_centers=12, seed=0)
+        assert centers.shape == (12, 2)
+        assert Rect.bounding(coords).contains(centers).all()
+
+    def test_deterministic_for_fixed_seed(self):
+        rng = np.random.default_rng(6)
+        coords = rng.random((300, 2))
+        a = scan_centers(coords, n_centers=8, seed=3)
+        b = scan_centers(coords, n_centers=8, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestGridPartitioning:
+    def test_regular_grid_shape(self):
+        grid = GridPartitioning.regular(Rect(0, 0, 1, 1), 4, 3)
+        assert (grid.nx, grid.ny, grid.n_cells) == (4, 3, 12)
+
+    def test_every_point_gets_exactly_one_cell(self):
+        rng = np.random.default_rng(8)
+        coords = rng.random((500, 2))
+        grid = GridPartitioning.regular(Rect(0, 0, 1, 1), 5, 4)
+        ids = grid.cell_ids(coords)
+        assert ((0 <= ids) & (ids < grid.n_cells)).all()
+        assert grid.counts(coords).sum() == len(coords)
+
+    def test_outside_points_clamp_to_border_cells(self):
+        grid = GridPartitioning.regular(Rect(0, 0, 1, 1), 3, 3)
+        ids = grid.cell_ids(np.array([[-5.0, -5.0], [5.0, 5.0]]))
+        assert list(ids) == [0, 8]
+
+    def test_cell_rect_roundtrip(self):
+        rng = np.random.default_rng(9)
+        coords = rng.random((200, 2))
+        grid = GridPartitioning.regular(Rect(0, 0, 1, 1), 4, 4)
+        ids = grid.cell_ids(coords)
+        for i, point in enumerate(coords):
+            assert grid.cell_rect(int(ids[i])).contains(point)
+
+    def test_partition_region_set_covers_without_gaps(self):
+        rng = np.random.default_rng(10)
+        coords = rng.random((300, 2))
+        grid = GridPartitioning.regular(Rect(0, 0, 1, 1), 5, 5)
+        regions = partition_region_set(grid)
+        assert len(regions) == grid.n_cells
+        # Random (off-lattice) points land in exactly one cell region.
+        membership = np.stack([r.contains(coords) for r in regions])
+        assert (membership.sum(axis=0) == 1).all()
+
+    def test_counts_with_weights(self):
+        coords = np.array([[0.1, 0.1], [0.9, 0.9], [0.15, 0.12]])
+        weights = np.array([1.0, 2.0, 3.0])
+        grid = GridPartitioning.regular(Rect(0, 0, 1, 1), 2, 2)
+        counts = grid.counts(coords, weights=weights)
+        assert counts[0] == 4.0 and counts[3] == 2.0
+
+
+def test_paper_side_lengths():
+    sides = paper_side_lengths()
+    assert len(sides) == 20
+    assert sides[0] == pytest.approx(0.1)
+    assert sides[-1] == pytest.approx(2.0)
+    assert (np.diff(sides) > 0).all()
+
+
+def test_random_partitionings_respect_split_range():
+    parts = random_partitionings(
+        Rect(0, 0, 1, 1), 10, seed=0, min_splits=3, max_splits=6
+    )
+    assert len(parts) == 10
+    for grid in parts:
+        assert 3 <= grid.nx <= 6
+        assert 3 <= grid.ny <= 6

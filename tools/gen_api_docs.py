@@ -22,6 +22,7 @@ sys.path.insert(0, str(ROOT / "src"))
 MODULES = [
     "repro",
     "repro.core",
+    "repro.engine",
     "repro.geometry",
     "repro.stats",
     "repro.index",
