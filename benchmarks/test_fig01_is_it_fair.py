@@ -11,7 +11,6 @@ partitionings with 10-40 splits, exactly the paper's protocol), asserts
 the orderings, and renders the Figure 1 scatters.
 """
 
-import pytest
 from conftest import ALPHA, N_WORLDS, report
 
 from repro import (

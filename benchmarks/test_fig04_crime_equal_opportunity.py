@@ -9,7 +9,6 @@ Paper claims:
 * the top-5 MeanVar partitions are sparse single-false-positive cells.
 """
 
-import numpy as np
 from conftest import ALPHA, N_WORLDS, report
 
 from repro import (

@@ -10,7 +10,6 @@ Paper claims:
   4,783).
 """
 
-import numpy as np
 from conftest import ALPHA, N_WORLDS, report
 
 from repro import (

@@ -1,47 +1,54 @@
 """Audit mortgage approvals for spatial statistical parity (LAR setting).
 
 Reproduces the workflow of Sections 4.2-4.3 of the paper on the
-LAR-like synthetic dataset:
+LAR-like synthetic dataset, driven entirely through the declarative
+façade: one :class:`repro.AuditSession` binds the dataset, and every
+experiment is an :class:`repro.AuditSpec` run against it — so the
+square-scan geometry is materialised and indexed exactly once even
+though three audits (two-sided, red, green) scan it.
 
 1. statistical-parity audit over a high-resolution grid partitioning,
    comparing our significant partitions against MeanVar's top
    contributors (Figures 2 and 3);
 2. the unrestricted square-region scan around k-means centres with
    non-overlapping selection (Figure 5);
-3. directional "red"/"green" scans (Figures 11 and 12).
+3. directional "red"/"green" scans (Figures 11 and 12), batched with
+   ``run_many`` over the shared index.
 
 Run with::
 
     python examples/audit_mortgage.py
 """
 
-from repro import (
-    GridPartitioning,
-    SpatialFairnessAuditor,
-    paper_side_lengths,
-    partition_region_set,
-    scan_centers,
-    select_non_overlapping,
-    square_region_set,
-    top_contributors,
-)
+from dataclasses import replace
+
+import repro
+from repro import GridPartitioning, select_non_overlapping, top_contributors
 from repro.datasets import generate_lar_like
 
 N_WORLDS = 199
 ALPHA = 0.005
 
+#: The paper's unrestricted scan: squares of the 20 paper side lengths
+#: around 100 k-means centres.
+SQUARES = repro.RegionSpec.squares(100, centers_seed=0)
 
-def partition_audit(data) -> None:
+
+def partition_audit(session, data) -> None:
     """Grid-partition audit vs MeanVar contributors (Figures 2-3)."""
     print("--- partition audit (50x25 grid) ---")
-    grid = GridPartitioning.regular(data.bounds(), 50, 25)
-    auditor = SpatialFairnessAuditor(data.coords, data.y_pred)
-    result = auditor.audit(
-        partition_region_set(grid), n_worlds=N_WORLDS, alpha=ALPHA, seed=1
+    report = session.run(
+        repro.AuditSpec(
+            regions=repro.RegionSpec.grid(50, 25),
+            n_worlds=N_WORLDS,
+            alpha=ALPHA,
+            seed=1,
+        )
     )
-    print(result.summary())
+    print(report.result.summary())
 
     print("\nMeanVar's most suspicious partitions (same grid):")
+    grid = GridPartitioning.regular(data.bounds(), 50, 25)
     for contrib in top_contributors(grid, data.coords, data.y_pred, k=5):
         print(
             f"  cell {contrib.cell_index}: n={contrib.n} p={contrib.p} "
@@ -53,40 +60,40 @@ def partition_audit(data) -> None:
     )
 
 
-def square_scan(data) -> None:
+def square_scan(session) -> None:
     """Unrestricted square-region scan (Figure 5)."""
     print("--- unrestricted square regions ---")
-    centers = scan_centers(data.coords, n_centers=100, seed=0)
-    regions = square_region_set(centers, paper_side_lengths())
-    auditor = SpatialFairnessAuditor(data.coords, data.y_pred)
-    result = auditor.audit(
-        regions, n_worlds=N_WORLDS, alpha=ALPHA, seed=1
+    report = session.run(
+        repro.AuditSpec(
+            regions=SQUARES, n_worlds=N_WORLDS, alpha=ALPHA, seed=1
+        )
     )
-    print(result.summary())
-    kept = select_non_overlapping(result.findings)
+    print(report.result.summary())
+    kept = select_non_overlapping(report.findings)
     print(f"\nnon-overlapping unfair regions ({len(kept)}):")
     for finding in kept:
         print("  " + finding.describe())
     print()
 
 
-def directional_scans(data) -> None:
-    """Red (lower-inside) and green (higher-inside) scans (Figs 11-12)."""
-    auditor = SpatialFairnessAuditor(data.coords, data.y_pred)
-    centers = scan_centers(data.coords, n_centers=100, seed=0)
-    regions = square_region_set(centers, paper_side_lengths())
-    for direction, name in (("lower", "red"), ("higher", "green")):
-        result = auditor.audit(
-            regions,
-            n_worlds=N_WORLDS,
-            alpha=ALPHA,
-            direction=direction,
-            seed=1,
-        )
-        kept = select_non_overlapping(result.findings)
+def directional_scans(session) -> None:
+    """Red (lower-inside) and green (higher-inside) scans (Figs 11-12).
+
+    Both specs reuse the square scan's membership index and differ only
+    in ``direction`` — ``run_many`` executes them over the shared
+    session caches.
+    """
+    base = repro.AuditSpec(
+        regions=SQUARES, n_worlds=N_WORLDS, alpha=ALPHA, seed=1
+    )
+    reports = session.run_many(
+        [replace(base, direction=d) for d in ("lower", "higher")]
+    )
+    for name, report in zip(("red", "green"), reports):
+        kept = select_non_overlapping(report.findings)
         print(
             f"--- {name} regions: {len(kept)} non-overlapping, "
-            f"verdict {'FAIR' if result.is_fair else 'UNFAIR'}"
+            f"verdict {'FAIR' if report.is_fair else 'UNFAIR'}"
         )
         for finding in kept[:3]:
             print("  " + finding.describe())
@@ -96,9 +103,14 @@ def directional_scans(data) -> None:
 def main() -> None:
     data = generate_lar_like(n_applications=60_000, n_tracts=15_000, seed=0)
     print(data.describe(), "\n")
-    partition_audit(data)
-    square_scan(data)
-    directional_scans(data)
+    session = repro.AuditSession(data.coords, data.y_pred)
+    partition_audit(session, data)
+    square_scan(session)
+    directional_scans(session)
+    print(
+        f"(session built {session.index_builds} membership indexes "
+        "for 4 audits)"
+    )
 
 
 if __name__ == "__main__":

@@ -1,8 +1,9 @@
 """Quickstart: audit a deliberately unfair classifier in ~30 lines.
 
 Generates the paper's two designed datasets — SemiSynth (spatially fair
-by design) and Synth (unfair by design) — audits both, and shows that
-the framework answers "is it fair?" correctly where the MeanVar baseline
+by design) and Synth (unfair by design) — audits both through the
+package's declarative front door (``repro.audit``), and shows that the
+framework answers "is it fair?" correctly where the MeanVar baseline
 inverts the answer (Figure 1 / Section 4.2 of the paper).
 
 Run with::
@@ -10,24 +11,21 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import (
-    GridPartitioning,
-    SpatialFairnessAuditor,
-    mean_variance,
-    partition_region_set,
-    random_partitionings,
-)
+import repro
+from repro import mean_variance, random_partitionings
 from repro.datasets import generate_semisynth, generate_synth
 
 
 def audit_dataset(data, n_worlds: int = 199, seed: int = 1) -> None:
     """Audit one dataset over a 10x10 partition grid and print results."""
-    grid = GridPartitioning.regular(data.bounds(), 10, 10)
-    auditor = SpatialFairnessAuditor(data.coords, data.y_pred)
-    result = auditor.audit(
-        partition_region_set(grid), n_worlds=n_worlds, seed=seed
+    report = (
+        repro.audit(data.coords, data.y_pred)
+        .partition(10, 10)
+        .worlds(n_worlds)
+        .seed(seed)
+        .run()
     )
-    print(result.summary())
+    print(report.summary())
     print()
 
 

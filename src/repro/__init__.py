@@ -5,20 +5,30 @@ fairness: a Monte Carlo scan over a predetermined candidate region set
 tests whether outcomes are independent of location and localises the
 regions responsible, with exact multiple-testing control.
 
-Quickstart::
+Quickstart — one declarative front door serves every audit family::
 
-    from repro import (GridPartitioning, SpatialFairnessAuditor,
-                       partition_region_set)
+    import repro
     from repro.datasets import generate_synth
 
     data = generate_synth(seed=0)
-    grid = GridPartitioning.regular(data.bounds(), 10, 10)
-    auditor = SpatialFairnessAuditor(data.coords, data.y_pred)
-    result = auditor.audit(partition_region_set(grid),
-                           n_worlds=199, seed=1)
-    print(result.summary())
+    report = (repro.audit(data.coords, data.y_pred)
+              .partition(10, 10).worlds(199).seed(1).run())
+    print(report.summary())
 
-Module map: :mod:`repro.core` (auditors and analyses),
+The same request as a serializable value object::
+
+    session = repro.AuditSession(data.coords, data.y_pred)
+    spec = repro.AuditSpec(regions=repro.RegionSpec.grid(10, 10),
+                           n_worlds=199, seed=1)
+    report = session.run(spec)          # == the builder's, bit for bit
+    payload = report.to_dict()          # stable, versioned, JSON-ready
+
+Or from the command line: ``python -m repro run spec.json --data
+data.npz``.
+
+Module map: :mod:`repro.api` (sessions, reports, the builder),
+:mod:`repro.spec` (declarative audit requests), :mod:`repro.core`
+(family/measure registries, dispatch, legacy auditors, analyses),
 :mod:`repro.engine` (shared parallel Monte Carlo engine),
 :mod:`repro.geometry` (regions and partitionings), :mod:`repro.stats`
 (statistic kernels), :mod:`repro.index` (counting backends),
@@ -27,6 +37,12 @@ Module map: :mod:`repro.core` (auditors and analyses),
 (numpy random forest), :mod:`repro.viz` (SVG figures).
 """
 
+from .api import (
+    AuditBuilder,
+    AuditReport,
+    AuditSession,
+    audit,
+)
 from .baselines import (
     Contribution,
     MeanVarScore,
@@ -37,19 +53,27 @@ from .baselines import (
     top_contributors,
 )
 from .core import (
+    CORRECTIONS,
+    FAMILIES,
+    MEASURES,
     AuditResult,
     Finding,
     GerrymanderScore,
     Measure,
+    MeasureDef,
     MultinomialSpatialAuditor,
     PoissonSpatialAuditor,
     PowerAnalysis,
     PowerEstimate,
+    ScanFamily,
     SpatialFairnessAuditor,
     equal_opportunity,
     gerrymander_score,
     log_likelihood_ratio,
     predictive_equality,
+    register_family,
+    register_measure,
+    run_scan,
     select_non_overlapping,
 )
 from .datasets import SpatialDataset
@@ -73,20 +97,29 @@ from .geometry import (
     square_region_set,
 )
 from .index import GridIndex, KDTree, RegionMembership
+from .spec import AuditSpec, RegionSpec
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "AuditBuilder",
+    "AuditReport",
     "AuditResult",
+    "AuditSession",
+    "AuditSpec",
     "BernoulliKernel",
+    "CORRECTIONS",
     "Contribution",
+    "FAMILIES",
     "Finding",
     "GerrymanderScore",
     "GridIndex",
     "GridPartitioning",
     "KDTree",
     "LLRKernel",
+    "MEASURES",
     "Measure",
+    "MeasureDef",
     "MeanVarScore",
     "MonteCarloEngine",
     "MultinomialKernel",
@@ -100,8 +133,11 @@ __all__ = [
     "Region",
     "RegionMembership",
     "RegionSet",
+    "RegionSpec",
+    "ScanFamily",
     "SpatialDataset",
     "SpatialFairnessAuditor",
+    "audit",
     "circle_region_set",
     "equal_opportunity",
     "gerrymander_score",
@@ -113,6 +149,9 @@ __all__ = [
     "predictive_equality",
     "random_partitionings",
     "rank_contributions",
+    "register_family",
+    "register_measure",
+    "run_scan",
     "scan_centers",
     "select_non_overlapping",
     "square_region_set",

@@ -1,0 +1,138 @@
+"""Command-line entry point: run serialized audit specs.
+
+Runs a declarative :class:`repro.spec.AuditSpec` (JSON) against a
+dataset stored as a numpy ``.npz`` archive and prints the
+:class:`repro.api.AuditReport` as JSON::
+
+    python -m repro run spec.json --data data.npz
+    python -m repro validate spec.json
+
+The ``.npz`` archive must hold ``coords`` (an ``(n, 2)`` float array)
+and the outcomes under ``outcomes`` (aliases ``y_pred``, ``labels`` or
+``observed`` are accepted); optional arrays ``y_true`` and
+``forecast`` unlock the accuracy measures and the Poisson family.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .api import AuditSession
+from .spec import AuditSpec
+
+#: Accepted ``.npz`` keys for the outcomes array, in precedence order.
+OUTCOME_KEYS = ("outcomes", "y_pred", "labels", "observed")
+
+
+def _load_spec(path: str) -> AuditSpec:
+    with open(path, "r", encoding="utf-8") as handle:
+        return AuditSpec.from_json(handle.read())
+
+
+def _load_session(
+    path: str, workers: int | None, n_classes: int | None
+) -> AuditSession:
+    data = np.load(path)
+    if not hasattr(data, "files"):
+        raise SystemExit(
+            f"{path}: expected an .npz archive of named arrays, got "
+            f"{type(data).__name__}"
+        )
+    if "coords" not in data.files:
+        raise SystemExit(
+            f"{path}: no 'coords' array (found: {sorted(data.files)})"
+        )
+    outcomes = next(
+        (data[key] for key in OUTCOME_KEYS if key in data.files), None
+    )
+    if outcomes is None:
+        raise SystemExit(
+            f"{path}: no outcomes array — expected one of "
+            f"{OUTCOME_KEYS} (found: {sorted(data.files)})"
+        )
+    return AuditSession(
+        data["coords"],
+        outcomes,
+        y_true=data["y_true"] if "y_true" in data.files else None,
+        forecast=data["forecast"] if "forecast" in data.files else None,
+        n_classes=n_classes,
+        workers=workers,
+    )
+
+
+def main(argv: list | None = None) -> int:
+    """Entry point; returns the process exit code.
+
+    Parameters
+    ----------
+    argv : list of str, optional
+        Arguments (defaults to ``sys.argv[1:]``).
+
+    Returns
+    -------
+    int
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run or validate declarative spatial-fairness "
+        "audit specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a spec against an .npz dataset"
+    )
+    run.add_argument("spec", help="AuditSpec JSON file")
+    run.add_argument(
+        "--data", required=True, metavar="NPZ",
+        help=".npz with coords + outcomes (+ y_true/forecast)",
+    )
+    run.add_argument(
+        "--full", action="store_true",
+        help="include every scanned region in the report",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="session default worker count",
+    )
+    run.add_argument(
+        "--n-classes", type=int, default=None,
+        help="class count for multinomial specs (else inferred from "
+        "the labels present)",
+    )
+    run.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (default 2)"
+    )
+
+    validate = sub.add_parser(
+        "validate", help="parse a spec and print its canonical form"
+    )
+    validate.add_argument("spec", help="AuditSpec JSON file")
+
+    args = parser.parse_args(argv)
+    try:
+        spec = _load_spec(args.spec)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"invalid spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "validate":
+        print(spec.to_json(indent=2))
+        return 0
+
+    try:
+        session = _load_session(args.data, args.workers, args.n_classes)
+        report = session.run(spec)
+    except (OSError, ValueError) as exc:
+        print(f"audit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report.to_dict(full=args.full), indent=args.indent))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,549 @@
+"""The package's front door: sessions, reports and the fluent builder.
+
+One declarative entry point serves every audit family.  An
+:class:`AuditSession` binds a dataset once (coordinates, outcomes and
+whatever auxiliaries the families need) and then runs any number of
+:class:`repro.spec.AuditSpec` requests against it, reusing the
+expensive intermediates across calls: region sets and membership
+matrices are cached per design, and the shared
+:class:`repro.engine.MonteCarloEngine` caches null distributions per
+``(design, family, n_worlds, seed)``.  Results come back as
+:class:`AuditReport` objects with a stable, versioned ``to_dict()``
+ready for serving.
+
+Three equivalent ways to drive it::
+
+    import repro
+
+    # 1. the fluent builder
+    report = (repro.audit(coords, y_pred)
+              .partition(50, 25).worlds(999).workers(4).run())
+
+    # 2. an explicit spec against a session
+    session = repro.AuditSession(coords, y_pred)
+    spec = repro.AuditSpec(regions=repro.RegionSpec.grid(50, 25),
+                           n_worlds=999, workers=4)
+    report = session.run(spec)
+
+    # 3. a serialized spec, e.g. received over the wire
+    report = session.run(repro.AuditSpec.from_json(payload))
+
+All three produce bit-identical findings for the same spec and seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .core import FAMILIES, MEASURES, AuditResult, run_scan
+from .engine import MonteCarloEngine
+from .geometry import RegionSet
+from .spec import AuditSpec, RegionSpec
+
+__all__ = ["AuditSession", "AuditReport", "AuditBuilder", "audit"]
+
+#: Version stamp of ``AuditReport.to_dict`` payloads.
+REPORT_VERSION = 1
+
+
+@dataclass
+class AuditReport:
+    """The outcome of one spec-driven audit, ready for serving.
+
+    Wraps the :class:`repro.core.AuditResult` together with the
+    :class:`repro.spec.AuditSpec` that produced it, and renders both
+    into a stable, versioned dict (:meth:`to_dict`) whose schema is
+    :data:`REPORT_VERSION`.
+
+    Attributes
+    ----------
+    spec : AuditSpec
+        The request this report answers.
+    result : AuditResult
+        The full in-memory result (findings, null quantiles, ...).
+    """
+
+    spec: AuditSpec
+    result: AuditResult
+
+    @property
+    def is_fair(self) -> bool:
+        """Verdict: ``True`` when fairness cannot be rejected."""
+        return self.result.is_fair
+
+    @property
+    def p_value(self) -> float:
+        """Monte Carlo p-value of the scan maximum."""
+        return self.result.p_value
+
+    @property
+    def findings(self) -> list:
+        """All per-region findings, in region order."""
+        return self.result.findings
+
+    @property
+    def significant_findings(self) -> list:
+        """Significant findings, strongest first."""
+        return self.result.significant_findings
+
+    def summary(self) -> str:
+        """Human-readable report: the request line plus the result's
+        multi-line summary."""
+        return f"{self.spec.describe()}\n{self.result.summary()}"
+
+    @staticmethod
+    def _finding_dict(finding) -> dict:
+        rect = finding.rect
+        return {
+            "index": finding.index,
+            "center_id": finding.center_id,
+            "rect": [rect.min_x, rect.min_y, rect.max_x, rect.max_y],
+            "n": finding.n,
+            "p": finding.p,
+            "rho_in": finding.rho_in,
+            "llr": finding.llr,
+            "p_value": finding.p_value,
+            "significant": finding.significant,
+            "direction": finding.direction,
+            "class_rates": list(finding.class_rates),
+        }
+
+    def to_dict(self, full: bool = False) -> dict:
+        """The report as plain JSON types with a stable schema.
+
+        Parameters
+        ----------
+        full : bool, default False
+            Include every scanned region under ``"findings"``; the
+            default ships only the significant ones (strongest first)
+            plus the single best finding.
+
+        Returns
+        -------
+        dict
+        """
+        result = self.result
+        best = result.best_finding
+        out = {
+            "version": REPORT_VERSION,
+            "spec": self.spec.to_dict(),
+            "verdict": "fair" if result.is_fair else "unfair",
+            "p_value": result.p_value,
+            "alpha": result.alpha,
+            "critical_value": result.critical_value,
+            "n_regions": result.n_regions,
+            "n_worlds": result.n_worlds,
+            "total_n": result.total_n,
+            "total_p": result.total_p,
+            "direction": result.direction,
+            "correction": result.correction,
+            "n_significant": len(result.significant_findings),
+            "significant": [
+                self._finding_dict(f)
+                for f in result.significant_findings
+            ],
+            "best": self._finding_dict(best) if best else None,
+        }
+        if full:
+            out["findings"] = [
+                self._finding_dict(f) for f in result.findings
+            ]
+        return out
+
+
+class AuditSession:
+    """A dataset bound once, ready to answer any number of audit specs.
+
+    The session owns the reusable state the specs share: the measured
+    data slices, one :class:`repro.engine.MonteCarloEngine` per
+    measure, and the materialised :class:`RegionSet` per
+    :class:`repro.spec.RegionSpec` — so a second ``run()`` over the
+    same geometry performs zero membership rebuilds and, at the same
+    seed and world budget, zero re-simulation.
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+        Observation locations.
+    outcomes : ndarray of shape (n,)
+        The audited outcomes: binary labels (``family='bernoulli'``),
+        observed event counts (``'poisson'``) or integer class labels
+        (``'multinomial'``).
+    y_true : ndarray of shape (n,), optional
+        Ground-truth labels, required by the accuracy measures
+        (``'equal_opportunity'``, ``'predictive_equality'``).
+    forecast : ndarray of shape (n,), optional
+        Expected counts, required by the Poisson family.
+    n_classes : int, optional
+        Class count for the multinomial family (inferred from the
+        labels when omitted).
+    workers : int, optional
+        Default Monte Carlo worker count for specs that leave
+        ``workers`` unset.
+
+    Attributes
+    ----------
+    index_builds : int
+        Total membership matrices built so far (across measures) —
+        the cache-reuse observability counter.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        outcomes: np.ndarray,
+        y_true: np.ndarray | None = None,
+        forecast: np.ndarray | None = None,
+        n_classes: int | None = None,
+        workers: int | None = None,
+    ):
+        self.coords = np.asarray(coords, dtype=np.float64)
+        if self.coords.ndim != 2 or self.coords.shape[1] != 2:
+            raise ValueError(
+                "coords: expected an (n, 2) array, got shape "
+                f"{self.coords.shape}"
+            )
+        self.outcomes = np.asarray(outcomes).ravel()
+        if len(self.outcomes) != len(self.coords):
+            raise ValueError(
+                "outcomes: length does not match coords "
+                f"({len(self.outcomes)} vs {len(self.coords)})"
+            )
+        self.y_true = None if y_true is None else np.asarray(y_true).ravel()
+        self.forecast = (
+            None
+            if forecast is None
+            else np.asarray(forecast, dtype=np.float64).ravel()
+        )
+        self.n_classes = None if n_classes is None else int(n_classes)
+        self.workers = workers
+        self._engines: dict = {}
+        self._measured: dict = {}
+        self._bound: dict = {}
+        self._region_sets: dict = {}
+
+    # -- cached intermediates -------------------------------------------
+
+    def _measured_data(self, measure: str):
+        """(coords, outcomes) after applying a measure, cached."""
+        cached = self._measured.get(measure)
+        if cached is None:
+            mdef = MEASURES[measure]
+            if mdef.needs_y_true and self.y_true is None:
+                raise ValueError(
+                    f"measure: {measure!r} needs ground-truth labels — "
+                    "construct the session with y_true="
+                )
+            cached = mdef.extract(self.coords, self.outcomes, self.y_true)
+            if len(cached[0]) == 0:
+                raise ValueError(
+                    f"measure: {measure!r} leaves no observations to "
+                    "audit on this dataset"
+                )
+            self._measured[measure] = cached
+        return cached
+
+    def _engine(self, measure: str) -> MonteCarloEngine:
+        """The engine over a measure's coordinate subset, cached."""
+        engine = self._engines.get(measure)
+        if engine is None:
+            coords, _ = self._measured_data(measure)
+            engine = MonteCarloEngine(coords)
+            self._engines[measure] = engine
+        return engine
+
+    def _family_bound(self, family: str, measure: str) -> dict:
+        """The family's validated bound state for a measure, cached."""
+        key = (family, measure)
+        bound = self._bound.get(key)
+        if bound is None:
+            coords, outcomes = self._measured_data(measure)
+            bound = FAMILIES[family].bind(
+                coords,
+                outcomes,
+                forecast=self.forecast,
+                n_classes=self.n_classes,
+            )
+            self._bound[key] = bound
+        return bound
+
+    def region_set(
+        self, design: RegionSpec, measure: str = "statistical_parity"
+    ) -> RegionSet:
+        """The materialised candidate regions of a design, cached per
+        ``(design, measure)``.
+
+        Grid designs without explicit ``bounds`` partition the full
+        dataset's bounding box regardless of the measure (the region
+        family is predetermined, as the paper requires, and identical
+        to the legacy grid-over-``data.bounds()`` workflow); square
+        and circle scans place their k-means centres on the measure's
+        coordinate subset, the points actually audited.
+
+        Parameters
+        ----------
+        design : RegionSpec
+        measure : str, default 'statistical_parity'
+            Measures that subset the data (different coordinates) get
+            their own materialisation.
+
+        Returns
+        -------
+        RegionSet
+        """
+        key = (design, measure)
+        regions = self._region_sets.get(key)
+        if regions is None:
+            self._measured_data(measure)  # validate the measure first
+            if design.kind == "grid":
+                # Grids are predetermined region families: without
+                # explicit bounds they cover the FULL dataset's
+                # bounding box, independent of the measure's subset —
+                # matching the legacy workflow (grid over
+                # ``data.bounds()``, audit the measured slice) and
+                # keeping grids comparable across measures.
+                regions = design.build(self.coords)
+            else:
+                # Scan centres adapt to the points actually audited.
+                coords, _ = self._measured_data(measure)
+                regions = design.build(coords)
+            self._region_sets[key] = regions
+        return regions
+
+    @property
+    def index_builds(self) -> int:
+        """Membership matrices built so far, across all engines."""
+        return sum(e.index_builds for e in self._engines.values())
+
+    # -- running specs --------------------------------------------------
+
+    def run(self, spec: AuditSpec) -> AuditReport:
+        """Run one declarative audit request.
+
+        Parameters
+        ----------
+        spec : AuditSpec
+            A validated request; dicts/JSON must be parsed first via
+            :meth:`repro.spec.AuditSpec.from_dict` / ``from_json``.
+
+        Returns
+        -------
+        AuditReport
+
+        Raises
+        ------
+        ValueError
+            When the session lacks data the spec needs (forecast,
+            y_true, ...), or the spec's region design yields no
+            scannable regions.
+        """
+        if not isinstance(spec, AuditSpec):
+            raise ValueError(
+                "spec: expected an AuditSpec, got "
+                f"{type(spec).__name__} — parse dicts/JSON with "
+                "AuditSpec.from_dict/from_json first"
+            )
+        regions = self.region_set(spec.regions, spec.measure)
+        result = run_scan(
+            self._engine(spec.measure),
+            spec.family,
+            self._family_bound(spec.family, spec.measure),
+            regions,
+            n_worlds=spec.n_worlds,
+            alpha=spec.alpha,
+            seed=spec.seed,
+            direction=spec.direction,
+            workers=spec.workers if spec.workers is not None
+            else self.workers,
+            correction=spec.correction,
+            spec_field="spec.regions",
+        )
+        return AuditReport(spec=spec, result=result)
+
+    def run_many(self, specs: Sequence[AuditSpec]) -> list:
+        """Run a batch of requests over the shared indexes.
+
+        Specs are executed in the given order; every cached
+        intermediate (measured slices, region sets, membership
+        matrices, null distributions) is shared across the batch.
+        Specs over the same region design share one membership index,
+        and a spec whose null design repeats an earlier one (same
+        family parameters, direction, ``n_worlds`` and seed) reuses
+        its simulated worlds outright; directional variants share the
+        index but simulate their own directional null.
+
+        Parameters
+        ----------
+        specs : sequence of AuditSpec
+
+        Returns
+        -------
+        list of AuditReport
+            One report per spec, in order.
+        """
+        return [self.run(spec) for spec in specs]
+
+
+class AuditBuilder:
+    """Fluent construction of one audit request against a session.
+
+    Every setter returns the builder, so a full audit reads as one
+    chain; :meth:`spec` yields the equivalent
+    :class:`repro.spec.AuditSpec` (bit-identical results by
+    construction) and :meth:`run` executes it::
+
+        repro.audit(coords, y_pred).partition(50, 25).worlds(999).run()
+    """
+
+    def __init__(self, session: AuditSession):
+        self._session = session
+        self._regions: RegionSpec | None = None
+        self._fields: dict = {}
+
+    @property
+    def session(self) -> AuditSession:
+        """The bound session (reusable across builders)."""
+        return self._session
+
+    def family(self, name: str) -> "AuditBuilder":
+        """Set the outcome family (``'bernoulli'`` default)."""
+        self._fields["family"] = name
+        return self
+
+    def measure(self, name: str) -> "AuditBuilder":
+        """Set the fairness measure (``'statistical_parity'``
+        default)."""
+        self._fields["measure"] = name
+        return self
+
+    def partition(
+        self, nx: int, ny: int | None = None, bounds: tuple | None = None
+    ) -> "AuditBuilder":
+        """Scan a regular ``nx x ny`` grid partitioning."""
+        self._regions = RegionSpec.grid(nx, ny, bounds=bounds)
+        return self
+
+    def squares(
+        self,
+        n_centers: int,
+        sides: tuple = (),
+        centers_seed: int = 0,
+    ) -> "AuditBuilder":
+        """Scan squares around k-means centres (paper geometry)."""
+        self._regions = RegionSpec.squares(
+            n_centers, sides=sides, centers_seed=centers_seed
+        )
+        return self
+
+    def circles(
+        self,
+        n_centers: int,
+        radii: tuple,
+        centers_seed: int = 0,
+    ) -> "AuditBuilder":
+        """Scan circles around k-means centres (Kulldorff geometry)."""
+        self._regions = RegionSpec.circles(
+            n_centers, radii, centers_seed=centers_seed
+        )
+        return self
+
+    def regions(self, design: RegionSpec) -> "AuditBuilder":
+        """Use an explicit :class:`RegionSpec` design."""
+        self._regions = design
+        return self
+
+    def worlds(self, n_worlds: int) -> "AuditBuilder":
+        """Set the Monte Carlo world budget."""
+        self._fields["n_worlds"] = n_worlds
+        return self
+
+    def alpha(self, alpha: float) -> "AuditBuilder":
+        """Set the significance level."""
+        self._fields["alpha"] = alpha
+        return self
+
+    def direction(self, direction: str) -> "AuditBuilder":
+        """Set the scan direction (``'lower'``/``'higher'``/...)."""
+        self._fields["direction"] = direction
+        return self
+
+    def correction(self, correction: str) -> "AuditBuilder":
+        """Set the per-region multiple-testing correction."""
+        self._fields["correction"] = correction
+        return self
+
+    def seed(self, seed: int) -> "AuditBuilder":
+        """Set the Monte Carlo master seed."""
+        self._fields["seed"] = seed
+        return self
+
+    def workers(self, workers: int) -> "AuditBuilder":
+        """Set the Monte Carlo worker-process count."""
+        self._fields["workers"] = workers
+        return self
+
+    def spec(self) -> AuditSpec:
+        """The accumulated request as a validated
+        :class:`AuditSpec`.
+
+        Returns
+        -------
+        AuditSpec
+
+        Raises
+        ------
+        ValueError
+            When no region design was chosen yet.
+        """
+        if self._regions is None:
+            raise ValueError(
+                "regions: no region design chosen — call .partition(), "
+                ".squares(), .circles() or .regions() first"
+            )
+        return AuditSpec(regions=self._regions, **self._fields)
+
+    def run(self) -> AuditReport:
+        """Build the spec and run it on the bound session."""
+        return self._session.run(self.spec())
+
+
+def audit(
+    coords: np.ndarray,
+    outcomes: np.ndarray,
+    y_true: np.ndarray | None = None,
+    forecast: np.ndarray | None = None,
+    n_classes: int | None = None,
+    workers: int | None = None,
+) -> AuditBuilder:
+    """Start a fluent audit of point-located outcomes.
+
+    Binds the data into a fresh :class:`AuditSession` and returns an
+    :class:`AuditBuilder`; chain the design and parameters, then
+    ``.run()``::
+
+        report = (repro.audit(coords, y_pred)
+                  .partition(50, 25).worlds(999).seed(1).run())
+        print(report.summary())
+
+    Parameters
+    ----------
+    coords, outcomes, y_true, forecast, n_classes, workers
+        As in :class:`AuditSession`.
+
+    Returns
+    -------
+    AuditBuilder
+    """
+    return AuditBuilder(
+        AuditSession(
+            coords,
+            outcomes,
+            y_true=y_true,
+            forecast=forecast,
+            n_classes=n_classes,
+            workers=workers,
+        )
+    )

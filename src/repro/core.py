@@ -7,13 +7,23 @@ regions, test the null hypothesis that outcomes are independent of
 location ("spatially uniform likelihood", SUL) with a Monte Carlo
 max-statistic scan, and localise the regions responsible.
 
-Three auditors share the machinery:
+Every audit runs through one spec-driven dispatch, :func:`run_scan`,
+parameterised by a :class:`ScanFamily` from the :data:`FAMILIES`
+registry — new outcome families register instead of subclassing.  Three
+registered families ship, each with a thin legacy auditor wrapper:
 
-* :class:`SpatialFairnessAuditor` — binary outcomes (Bernoulli scan,
-  the paper's setting);
-* :class:`PoissonSpatialAuditor` — observed-vs-forecast count data
-  (Kulldorff's Poisson model, the intro's crime-forecast motivation);
-* :class:`MultinomialSpatialAuditor` — categorical outcomes.
+* ``"bernoulli"`` / :class:`SpatialFairnessAuditor` — binary outcomes
+  (Bernoulli scan, the paper's setting);
+* ``"poisson"`` / :class:`PoissonSpatialAuditor` — observed-vs-forecast
+  count data (Kulldorff's Poisson model, the intro's crime-forecast
+  motivation);
+* ``"multinomial"`` / :class:`MultinomialSpatialAuditor` — categorical
+  outcomes.
+
+The declarative front door over this dispatch — serializable
+:class:`repro.spec.AuditSpec` requests run by a
+:class:`repro.api.AuditSession` — lives in :mod:`repro.spec` and
+:mod:`repro.api`.
 
 The Monte Carlo step is vectorized end-to-end: simulated worlds are a
 ``(n_points, n_worlds)`` matrix and per-region recounting is a single
@@ -23,12 +33,13 @@ sparse mat-vec through :class:`repro.index.RegionMembership`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from .engine import (
     BernoulliKernel,
+    LLRKernel,
     MonteCarloEngine,
     MultinomialKernel,
     PoissonKernel,
@@ -39,11 +50,20 @@ from .geometry import (
     RegionSet,
 )
 from .index import RegionMembership
-from .stats import bernoulli_llr, poisson_llr
+from .stats import benjamini_hochberg, bernoulli_llr, poisson_llr
 
 __all__ = [
     "Finding",
     "AuditResult",
+    "ObservedScan",
+    "ScanFamily",
+    "FAMILIES",
+    "register_family",
+    "MeasureDef",
+    "MEASURES",
+    "register_measure",
+    "CORRECTIONS",
+    "run_scan",
     "SpatialFairnessAuditor",
     "PoissonSpatialAuditor",
     "MultinomialSpatialAuditor",
@@ -200,6 +220,12 @@ class AuditResult:
         Number of scanned regions.
     direction : int
         0 two-sided, +1 "higher inside", -1 "lower inside".
+    correction : str
+        Multiple-testing correction behind the per-region
+        ``significant`` flags: ``'max-stat'`` (the paper's exact FWER
+        control) or ``'fdr-bh'`` (Benjamini–Hochberg run on top of the
+        adjusted p-values — a stricter, higher-precision flagged set;
+        see :data:`CORRECTIONS`).
     """
 
     findings: list
@@ -211,6 +237,7 @@ class AuditResult:
     n_worlds: int
     n_regions: int
     direction: int = 0
+    correction: str = "max-stat"
     _significant: list = field(default=None, repr=False)
 
     @property
@@ -274,11 +301,592 @@ class AuditResult:
         return "\n".join(lines)
 
 
+#: Multiple-testing corrections :func:`run_scan` understands for the
+#: per-region ``significant`` flags.  ``'max-stat'`` is the paper's
+#: exact family-wise control (a region is significant when its
+#: max-statistic adjusted p-value is at most ``alpha``).  ``'fdr-bh'``
+#: additionally runs Benjamini–Hochberg *on top of* those adjusted
+#: p-values: the flagged set is a (weakly) stricter subset of the
+#: ``'max-stat'`` one whose expected false-discovery fraction is also
+#: bounded by ``alpha`` — a higher-precision region list, not a
+#: power gain.
+CORRECTIONS = ("max-stat", "fdr-bh")
+
+
+@dataclass(frozen=True)
+class ObservedScan:
+    """The observed (non-simulated) statistics of one scan, as computed
+    by a :class:`ScanFamily`.
+
+    Attributes
+    ----------
+    n : ndarray of shape (n_regions,)
+        Observations per region.
+    p : ndarray of shape (n_regions,)
+        The family's per-region evidence count (positives, observed
+        events, modal-class count).
+    llr : ndarray of shape (n_regions,)
+        The scan statistic per region.
+    rho_in : ndarray of shape (n_regions,)
+        Rate (or observed/expected ratio) inside each region.
+    direction_arr : ndarray of shape (n_regions,)
+        Sign of each region's deviation from its complement.
+    total_n, total_p : int
+        Global totals for :class:`AuditResult`.
+    class_rates : ndarray of shape (n_regions, K), optional
+        Per-class rates inside each region (multinomial only).
+    """
+
+    n: np.ndarray
+    p: np.ndarray
+    llr: np.ndarray
+    rho_in: np.ndarray
+    direction_arr: np.ndarray
+    total_n: int
+    total_p: int
+    class_rates: np.ndarray | None = None
+
+
+class ScanFamily:
+    """One outcome family of the scan audit.
+
+    A family knows how to *bind* raw session data (validating it and
+    precomputing totals), how to compute the *observed* per-region
+    statistics, and which Monte Carlo *kernel* simulates its null
+    worlds.  :func:`run_scan` supplies everything else — membership
+    indexing, null simulation, correction and assembly — so a new
+    scenario is one :func:`register_family` call, not a new auditor
+    subclass.
+
+    Subclasses set :attr:`name` (the registry key and
+    ``AuditSpec.family`` value) and :attr:`directional`, and implement
+    :meth:`bind`, :meth:`observed` and :meth:`kernel`.
+    """
+
+    #: Registry key; the value of ``AuditSpec.family``.
+    name = "family"
+
+    #: Whether the family supports directional ('lower'/'higher') scans.
+    directional = True
+
+    def bind(
+        self,
+        coords: np.ndarray,
+        outcomes: np.ndarray,
+        forecast: np.ndarray | None = None,
+        n_classes: int | None = None,
+    ) -> dict:
+        """Validate raw data and return the family's bound state.
+
+        Parameters
+        ----------
+        coords : ndarray of shape (n, 2)
+        outcomes : ndarray of shape (n,)
+            Binary labels, observed counts, or class labels — the
+            family's own reading.
+        forecast : ndarray of shape (n,), optional
+            Expected counts (Poisson family only).
+        n_classes : int, optional
+            Number of classes (multinomial family only).
+
+        Returns
+        -------
+        dict
+            Opaque bound state consumed by :meth:`observed` and
+            :meth:`kernel`.
+        """
+        raise NotImplementedError
+
+    def observed(
+        self, bound: dict, member: RegionMembership, direction: int
+    ) -> ObservedScan:
+        """Observed per-region statistics of the bound data."""
+        raise NotImplementedError
+
+    def kernel(self, bound: dict, direction: int) -> LLRKernel:
+        """The Monte Carlo kernel simulating this family's null."""
+        raise NotImplementedError
+
+
+#: Registry of outcome families by name; see :func:`register_family`.
+FAMILIES: dict = {}
+
+
+def register_family(family: ScanFamily) -> ScanFamily:
+    """Register an outcome family under ``family.name``.
+
+    Registered families are valid ``AuditSpec.family`` values and
+    drive :func:`run_scan` directly — adding a scenario is a
+    registration, not an auditor subclass.
+
+    Parameters
+    ----------
+    family : ScanFamily
+
+    Returns
+    -------
+    ScanFamily
+        The family itself, so the call composes as a decorator-like
+        one-liner.
+    """
+    FAMILIES[family.name] = family
+    return family
+
+
+@dataclass(frozen=True)
+class MeasureDef:
+    """A registered fairness measure: the slice of the bound dataset an
+    audit actually scans.
+
+    Attributes
+    ----------
+    name : str
+        Registry key; the value of ``AuditSpec.measure``.
+    extract : callable
+        ``(coords, outcomes, y_true) -> (coords, outcomes)``.
+    families : tuple of str or None
+        Families the measure applies to; ``None`` means every
+        registered family, including ones registered later.
+    needs_y_true : bool
+        Whether the session must carry ground-truth labels.
+    """
+
+    name: str
+    extract: Callable
+    families: tuple | None = None
+    needs_y_true: bool = False
+
+
+#: Registry of measures by name; see :func:`register_measure`.
+MEASURES: dict = {}
+
+
+def register_measure(measure: MeasureDef) -> MeasureDef:
+    """Register a measure under ``measure.name`` (returns it back).
+
+    Parameters
+    ----------
+    measure : MeasureDef
+
+    Returns
+    -------
+    MeasureDef
+    """
+    MEASURES[measure.name] = measure
+    return measure
+
+
+def _assemble(
+    regions: RegionSet,
+    obs: ObservedScan,
+    null_max: np.ndarray,
+    alpha: float,
+    direction: int,
+    correction: str,
+) -> AuditResult:
+    n_worlds = len(null_max)
+    llr = obs.llr
+    sorted_null = np.sort(null_max)
+    # Max-statistic adjusted p-value per region, and for the scan
+    # maximum itself (the audit's verdict).
+    counts_ge = n_worlds - np.searchsorted(
+        sorted_null, llr - 1e-12, side="left"
+    )
+    p_values = (1.0 + counts_ge) / (n_worlds + 1.0)
+    observed_max = float(llr.max()) if len(llr) else 0.0
+    global_count = n_worlds - np.searchsorted(
+        sorted_null, observed_max - 1e-12, side="left"
+    )
+    global_p = (1.0 + global_count) / (n_worlds + 1.0)
+    k = max(1, int(np.floor(alpha * (n_worlds + 1))))
+    critical = float(sorted_null[n_worlds - k])
+    tol = alpha * (1.0 + 1e-9)
+    if correction == "fdr-bh":
+        sig_mask = benjamini_hochberg(p_values, alpha) & (llr > 0.0)
+    else:
+        sig_mask = (p_values <= tol) & (llr > 0.0)
+    findings = []
+    for i, region in enumerate(regions):
+        findings.append(
+            Finding(
+                index=i,
+                center_id=region.center_id,
+                rect=region.rect,
+                n=int(obs.n[i]),
+                p=int(obs.p[i]),
+                rho_in=float(obs.rho_in[i]),
+                llr=float(llr[i]),
+                p_value=float(p_values[i]),
+                significant=bool(sig_mask[i]),
+                direction=int(obs.direction_arr[i]),
+                class_rates=(
+                    tuple(obs.class_rates[i])
+                    if obs.class_rates is not None
+                    else ()
+                ),
+            )
+        )
+    return AuditResult(
+        findings=findings,
+        p_value=float(global_p),
+        alpha=float(alpha),
+        critical_value=critical,
+        total_n=int(obs.total_n),
+        total_p=int(obs.total_p),
+        n_worlds=n_worlds,
+        n_regions=len(regions),
+        direction=direction,
+        correction=correction,
+    )
+
+
+def run_scan(
+    engine: MonteCarloEngine,
+    family,
+    bound: dict,
+    regions: RegionSet,
+    n_worlds: int = 99,
+    alpha: float = 0.05,
+    seed: int | None = None,
+    direction: str | None = None,
+    membership: RegionMembership | None = None,
+    workers: int | None = None,
+    correction: str = "max-stat",
+    spec_field: str = "regions",
+) -> AuditResult:
+    """The one spec-driven dispatch every audit runs through.
+
+    Resolves the family, checks the region design, computes observed
+    statistics, simulates the null through the engine, and assembles
+    the :class:`AuditResult`.  The legacy auditor classes and the
+    :class:`repro.api.AuditSession` façade are both thin callers of
+    this function.
+
+    Parameters
+    ----------
+    engine : MonteCarloEngine
+        The engine bound to the scanned coordinates.
+    family : ScanFamily or str
+        A family instance, or a :data:`FAMILIES` registry name.
+    bound : dict
+        The family's bound data, from :meth:`ScanFamily.bind`.
+    regions : RegionSet
+        Candidate regions; must be non-empty and cover at least one
+        observation.
+    n_worlds, alpha, seed, direction, membership, workers
+        As in :meth:`SpatialFairnessAuditor.audit`.
+    correction : {'max-stat', 'fdr-bh'}, default 'max-stat'
+        Per-region multiple-testing correction (:data:`CORRECTIONS`).
+    spec_field : str, default 'regions'
+        Name used in region-validation errors, so spec-driven callers
+        can point at the offending ``AuditSpec`` field.
+
+    Returns
+    -------
+    AuditResult
+
+    Raises
+    ------
+    ValueError
+        On an unknown family or correction, a directional scan of a
+        non-directional family, an empty region set, or a region set
+        containing no observation at all.
+    """
+    if isinstance(family, str):
+        try:
+            family = FAMILIES[family]
+        except KeyError:
+            known = ", ".join(sorted(FAMILIES))
+            raise ValueError(
+                f"unknown family {family!r}; registered: {known}"
+            ) from None
+    d = _parse_direction(direction)
+    if d != 0 and not family.directional:
+        raise ValueError(
+            f"family {family.name!r} does not support directional "
+            f"scans (direction={direction!r})"
+        )
+    if correction not in CORRECTIONS:
+        raise ValueError(
+            f"unknown correction {correction!r}; expected one of "
+            f"{CORRECTIONS}"
+        )
+    n_worlds = _check_n_worlds(n_worlds)
+    if len(regions) == 0:
+        raise ValueError(
+            f"{spec_field}: the candidate region set is empty — "
+            "there is nothing to scan"
+        )
+    member = membership or engine.membership(regions)
+    if int(member.counts.sum()) == 0:
+        raise ValueError(
+            f"{spec_field}: no candidate region contains any "
+            "observation — the region geometry does not cover the data"
+        )
+    obs = family.observed(bound, member, d)
+    null_max = engine.null_distribution(
+        member,
+        family.kernel(bound, d),
+        n_worlds,
+        seed=seed,
+        workers=workers,
+    )
+    return _assemble(regions, obs, null_max, alpha, d, correction)
+
+
+class BernoulliFamily(ScanFamily):
+    """Binary outcomes: the paper's SUL test (see
+    :class:`SpatialFairnessAuditor`)."""
+
+    name = "bernoulli"
+    directional = True
+
+    def bind(self, coords, outcomes, forecast=None, n_classes=None):
+        labels = np.asarray(outcomes).astype(np.int8).ravel()
+        if len(labels) != len(coords):
+            raise ValueError(
+                "coords and labels must have the same length"
+            )
+        return {
+            "labels": labels,
+            "N": len(coords),
+            "P": int(labels.sum()),
+        }
+
+    def observed(self, bound, member, direction):
+        N, P = bound["N"], bound["P"]
+        n = member.counts.astype(np.float64)
+        p = member.positive_counts(bound["labels"].astype(np.float64))
+        llr = bernoulli_llr(n, p, N, P, direction=direction)
+        with np.errstate(invalid="ignore"):
+            rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
+            rho_out = np.where(
+                N - n > 0, (P - p) / np.maximum(N - n, 1.0), P / N
+            )
+        return ObservedScan(
+            n=n,
+            p=p,
+            llr=llr,
+            rho_in=rho_in,
+            direction_arr=np.sign(rho_in - rho_out).astype(int),
+            total_n=N,
+            total_p=P,
+        )
+
+    def kernel(self, bound, direction):
+        return BernoulliKernel(
+            bound["N"], bound["P"], direction=direction
+        )
+
+
+class PoissonFamily(ScanFamily):
+    """Observed-vs-forecast counts: Kulldorff's Poisson scan (see
+    :class:`PoissonSpatialAuditor`)."""
+
+    name = "poisson"
+    directional = True
+
+    def bind(self, coords, outcomes, forecast=None, n_classes=None):
+        observed = np.asarray(outcomes, dtype=np.float64).ravel()
+        if forecast is None:
+            raise ValueError(
+                "family 'poisson' needs a forecast array of expected "
+                "counts"
+            )
+        forecast = np.asarray(forecast, dtype=np.float64).ravel()
+        if not (len(observed) == len(forecast) == len(coords)):
+            raise ValueError(
+                "coords, observed and forecast must share a length"
+            )
+        if (forecast < 0).any() or forecast.sum() <= 0:
+            raise ValueError("forecast must be non-negative, not all 0")
+        total_obs = float(observed.sum())
+        return {
+            "observed": observed,
+            "forecast": forecast,
+            "expected": forecast * (total_obs / forecast.sum()),
+            "O": total_obs,
+            "N": len(coords),
+        }
+
+    def observed(self, bound, member, direction):
+        total_obs = bound["O"]
+        obs_r = member.positive_counts(bound["observed"])
+        exp_r = member.positive_counts(bound["expected"])
+        llr = poisson_llr(obs_r, exp_r, total_obs, direction=direction)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(
+                exp_r > 0, obs_r / np.maximum(exp_r, 1e-300), 1.0
+            )
+        return ObservedScan(
+            n=member.counts,
+            p=obs_r,
+            llr=llr,
+            rho_in=ratio,
+            direction_arr=np.sign(obs_r - exp_r).astype(int),
+            total_n=bound["N"],
+            total_p=int(total_obs),
+        )
+
+    def kernel(self, bound, direction):
+        return PoissonKernel(
+            bound["expected"], bound["O"], direction=direction
+        )
+
+
+class MultinomialFamily(ScanFamily):
+    """Categorical outcomes: the multinomial scan (see
+    :class:`MultinomialSpatialAuditor`)."""
+
+    name = "multinomial"
+    directional = False
+
+    def bind(self, coords, outcomes, forecast=None, n_classes=None):
+        labels = np.asarray(outcomes).astype(np.int64).ravel()
+        if len(labels) != len(coords):
+            raise ValueError(
+                "coords and labels must have the same length"
+            )
+        if n_classes is None:
+            n_classes = int(labels.max()) + 1 if len(labels) else 0
+        n_classes = int(n_classes)
+        if len(labels) and (
+            labels.min() < 0 or labels.max() >= n_classes
+        ):
+            raise ValueError("labels must lie in [0, n_classes)")
+        return {
+            "labels": labels,
+            "n_classes": n_classes,
+            "N": len(coords),
+            "totals": np.bincount(
+                labels, minlength=n_classes
+            ).astype(np.float64),
+        }
+
+    @staticmethod
+    def _class_llr(n, class_counts, N, totals):
+        """Multinomial scan LLR.
+
+        Parameters
+        ----------
+        n : ndarray (R,) or (R, W)
+            Region sizes.
+        class_counts : ndarray (K, R) or (K, R, W)
+            Per-class counts inside each region.
+        N : float
+            Total observations.
+        totals : ndarray (K,)
+            Global class counts.
+        """
+        from scipy.special import xlogy
+
+        n_out = N - n
+        llr = np.zeros(np.shape(n))
+        for k in range(len(totals)):
+            c = class_counts[k]
+            C = totals[k]
+            g = C / N
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rho = np.where(n > 0, c / np.maximum(n, 1.0), 0.0)
+                q = np.where(
+                    n_out > 0, (C - c) / np.maximum(n_out, 1.0), 0.0
+                )
+            llr = llr + (
+                xlogy(c, np.maximum(rho, 1e-300))
+                + xlogy(C - c, np.maximum(q, 1e-300))
+                - xlogy(C, g)
+            )
+        llr = np.maximum(llr, 0.0)
+        llr = np.where((n <= 0) | (n >= N), 0.0, llr)
+        return llr
+
+    def observed(self, bound, member, direction):
+        labels = bound["labels"]
+        N, K = bound["N"], bound["n_classes"]
+        totals = bound["totals"]
+        n = member.counts.astype(np.float64)
+        class_counts = np.stack(
+            [
+                member.positive_counts(
+                    (labels == k).astype(np.float64)
+                )
+                for k in range(K)
+            ]
+        )
+        llr = self._class_llr(n, class_counts, N, totals)
+        with np.errstate(invalid="ignore"):
+            rates = np.where(
+                n[None, :] > 0,
+                class_counts / np.maximum(n[None, :], 1.0),
+                0.0,
+            )
+        modal = class_counts.argmax(axis=0)
+        p = class_counts[modal, np.arange(len(member))]
+        rho_in = rates[modal, np.arange(len(member))]
+        return ObservedScan(
+            n=n,
+            p=p,
+            llr=llr,
+            rho_in=rho_in,
+            direction_arr=np.zeros(len(member), dtype=int),
+            total_n=N,
+            total_p=int(totals.max()) if K else 0,
+            class_rates=rates.T,
+        )
+
+    def kernel(self, bound, direction):
+        return MultinomialKernel(bound["N"], bound["totals"])
+
+
+BERNOULLI = register_family(BernoulliFamily())
+POISSON = register_family(PoissonFamily())
+MULTINOMIAL = register_family(MultinomialFamily())
+
+
+def _extract_identity(coords, outcomes, y_true):
+    return coords, outcomes
+
+
+def _extract_equal_opportunity(coords, outcomes, y_true):
+    mask = np.asarray(y_true) == 1
+    return (
+        coords[mask],
+        (np.asarray(outcomes)[mask] == 1).astype(np.int8),
+    )
+
+
+def _extract_predictive_equality(coords, outcomes, y_true):
+    mask = np.asarray(y_true) == 0
+    return (
+        coords[mask],
+        (np.asarray(outcomes)[mask] == 1).astype(np.int8),
+    )
+
+
+register_measure(MeasureDef("statistical_parity", _extract_identity))
+register_measure(
+    MeasureDef(
+        "equal_opportunity",
+        _extract_equal_opportunity,
+        families=("bernoulli",),
+        needs_y_true=True,
+    )
+)
+register_measure(
+    MeasureDef(
+        "predictive_equality",
+        _extract_predictive_equality,
+        families=("bernoulli",),
+        needs_y_true=True,
+    )
+)
+
+
 class _ScanAuditorBase:
-    """Shared scan machinery: every auditor drives one
-    :class:`repro.engine.MonteCarloEngine` (membership caching, world
-    simulation, null-distribution caching, optional workers) and only
-    assembles family-specific observed statistics itself."""
+    """Shared plumbing of the legacy auditor classes: each binds one
+    :class:`ScanFamily`'s data to a
+    :class:`repro.engine.MonteCarloEngine` and delegates ``audit()``
+    to :func:`run_scan`."""
 
     def __init__(
         self, coords: np.ndarray, engine: MonteCarloEngine | None = None
@@ -302,72 +910,6 @@ class _ScanAuditorBase:
         RegionMembership
         """
         return self.engine.membership(regions)
-
-    @staticmethod
-    def _assemble(
-        regions: RegionSet,
-        member: RegionMembership,
-        n: np.ndarray,
-        p: np.ndarray,
-        llr: np.ndarray,
-        rho_in: np.ndarray,
-        direction_arr: np.ndarray,
-        null_max: np.ndarray,
-        alpha: float,
-        direction: int,
-        total_n: int,
-        total_p: int,
-        class_rates: np.ndarray | None = None,
-    ) -> AuditResult:
-        n_worlds = len(null_max)
-        sorted_null = np.sort(null_max)
-        # Max-statistic adjusted p-value per region, and for the scan
-        # maximum itself (the audit's verdict).
-        counts_ge = n_worlds - np.searchsorted(
-            sorted_null, llr - 1e-12, side="left"
-        )
-        p_values = (1.0 + counts_ge) / (n_worlds + 1.0)
-        observed_max = float(llr.max()) if len(llr) else 0.0
-        global_count = n_worlds - np.searchsorted(
-            sorted_null, observed_max - 1e-12, side="left"
-        )
-        global_p = (1.0 + global_count) / (n_worlds + 1.0)
-        k = max(1, int(np.floor(alpha * (n_worlds + 1))))
-        critical = float(sorted_null[n_worlds - k])
-        tol = alpha * (1.0 + 1e-9)
-        findings = []
-        for i, region in enumerate(regions):
-            findings.append(
-                Finding(
-                    index=i,
-                    center_id=region.center_id,
-                    rect=region.rect,
-                    n=int(n[i]),
-                    p=int(p[i]),
-                    rho_in=float(rho_in[i]),
-                    llr=float(llr[i]),
-                    p_value=float(p_values[i]),
-                    significant=bool(
-                        p_values[i] <= tol and llr[i] > 0.0
-                    ),
-                    direction=int(direction_arr[i]),
-                    class_rates=(
-                        tuple(class_rates[i]) if class_rates is not None
-                        else ()
-                    ),
-                )
-            )
-        return AuditResult(
-            findings=findings,
-            p_value=float(global_p),
-            alpha=float(alpha),
-            critical_value=critical,
-            total_n=int(total_n),
-            total_p=int(total_p),
-            n_worlds=n_worlds,
-            n_regions=len(regions),
-            direction=direction,
-        )
 
 
 class SpatialFairnessAuditor(_ScanAuditorBase):
@@ -403,11 +945,8 @@ class SpatialFairnessAuditor(_ScanAuditorBase):
         engine: MonteCarloEngine | None = None,
     ):
         super().__init__(coords, engine=engine)
-        self.labels = np.asarray(labels).astype(np.int8).ravel()
-        if len(self.labels) != len(self.coords):
-            raise ValueError(
-                "coords and labels must have the same length"
-            )
+        self._bound = BERNOULLI.bind(self.coords, labels)
+        self.labels = self._bound["labels"]
 
     def audit(
         self,
@@ -453,32 +992,17 @@ class SpatialFairnessAuditor(_ScanAuditorBase):
         -------
         AuditResult
         """
-        d = _parse_direction(direction)
-        n_worlds = _check_n_worlds(n_worlds)
-        member = membership or self.membership(regions)
-        N = len(self.coords)
-        P = int(self.labels.sum())
-        n = member.counts.astype(np.float64)
-        p = member.positive_counts(self.labels.astype(np.float64))
-        llr = bernoulli_llr(n, p, N, P, direction=d)
-
-        null_max = self.engine.null_distribution(
-            member,
-            BernoulliKernel(N, P, direction=d),
-            n_worlds,
+        return run_scan(
+            self.engine,
+            BERNOULLI,
+            self._bound,
+            regions,
+            n_worlds=n_worlds,
+            alpha=alpha,
             seed=seed,
+            direction=direction,
+            membership=membership,
             workers=workers,
-        )
-
-        with np.errstate(invalid="ignore"):
-            rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
-            rho_out = np.where(
-                N - n > 0, (P - p) / np.maximum(N - n, 1.0), P / N
-            )
-        dir_arr = np.sign(rho_in - rho_out).astype(int)
-        return self._assemble(
-            regions, member, n, p, llr, rho_in, dir_arr, null_max,
-            alpha, d, N, P,
         )
 
 
@@ -509,16 +1033,11 @@ class PoissonSpatialAuditor(_ScanAuditorBase):
         engine: MonteCarloEngine | None = None,
     ):
         super().__init__(coords, engine=engine)
-        self.observed = np.asarray(observed, dtype=np.float64).ravel()
-        self.forecast = np.asarray(forecast, dtype=np.float64).ravel()
-        if not (
-            len(self.observed) == len(self.forecast) == len(self.coords)
-        ):
-            raise ValueError(
-                "coords, observed and forecast must share a length"
-            )
-        if (self.forecast < 0).any() or self.forecast.sum() <= 0:
-            raise ValueError("forecast must be non-negative, not all 0")
+        self._bound = POISSON.bind(
+            self.coords, observed, forecast=forecast
+        )
+        self.observed = self._bound["observed"]
+        self.forecast = self._bound["forecast"]
 
     def audit(
         self,
@@ -547,32 +1066,17 @@ class PoissonSpatialAuditor(_ScanAuditorBase):
         -------
         AuditResult
         """
-        d = _parse_direction(direction)
-        n_worlds = _check_n_worlds(n_worlds)
-        member = membership or self.membership(regions)
-        O = float(self.observed.sum())
-        scale = O / self.forecast.sum()
-        expected = self.forecast * scale
-
-        obs_r = member.positive_counts(self.observed)
-        exp_r = member.positive_counts(expected)
-        llr = poisson_llr(obs_r, exp_r, O, direction=d)
-
-        null_max = self.engine.null_distribution(
-            member,
-            PoissonKernel(expected, O, direction=d),
-            n_worlds,
+        return run_scan(
+            self.engine,
+            POISSON,
+            self._bound,
+            regions,
+            n_worlds=n_worlds,
+            alpha=alpha,
             seed=seed,
+            direction=direction,
+            membership=membership,
             workers=workers,
-        )
-
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratio = np.where(exp_r > 0, obs_r / np.maximum(exp_r, 1e-300),
-                             1.0)
-        dir_arr = np.sign(obs_r - exp_r).astype(int)
-        return self._assemble(
-            regions, member, member.counts, obs_r, llr, ratio, dir_arr,
-            null_max, alpha, d, len(self.coords), int(O),
         )
 
 
@@ -599,56 +1103,11 @@ class MultinomialSpatialAuditor(_ScanAuditorBase):
         engine: MonteCarloEngine | None = None,
     ):
         super().__init__(coords, engine=engine)
-        self.labels = np.asarray(labels).astype(np.int64).ravel()
-        self.n_classes = int(n_classes)
-        if len(self.labels) != len(self.coords):
-            raise ValueError(
-                "coords and labels must have the same length"
-            )
-        if self.labels.min() < 0 or self.labels.max() >= self.n_classes:
-            raise ValueError("labels must lie in [0, n_classes)")
-
-    def _class_llr(
-        self,
-        n: np.ndarray,
-        class_counts: np.ndarray,
-        N: float,
-        totals: np.ndarray,
-    ) -> np.ndarray:
-        """Multinomial scan LLR.
-
-        Parameters
-        ----------
-        n : ndarray (R,) or (R, W)
-            Region sizes.
-        class_counts : ndarray (K, R) or (K, R, W)
-            Per-class counts inside each region.
-        N : float
-            Total observations.
-        totals : ndarray (K,)
-            Global class counts.
-        """
-        from scipy.special import xlogy
-
-        n_out = N - n
-        llr = np.zeros(np.shape(n))
-        for k in range(self.n_classes):
-            c = class_counts[k]
-            C = totals[k]
-            g = C / N
-            with np.errstate(divide="ignore", invalid="ignore"):
-                rho = np.where(n > 0, c / np.maximum(n, 1.0), 0.0)
-                q = np.where(
-                    n_out > 0, (C - c) / np.maximum(n_out, 1.0), 0.0
-                )
-            llr = llr + (
-                xlogy(c, np.maximum(rho, 1e-300))
-                + xlogy(C - c, np.maximum(q, 1e-300))
-                - xlogy(C, g)
-            )
-        llr = np.maximum(llr, 0.0)
-        llr = np.where((n <= 0) | (n >= N), 0.0, llr)
-        return llr
+        self._bound = MULTINOMIAL.bind(
+            self.coords, labels, n_classes=n_classes
+        )
+        self.labels = self._bound["labels"]
+        self.n_classes = self._bound["n_classes"]
 
     def audit(
         self,
@@ -675,44 +1134,16 @@ class MultinomialSpatialAuditor(_ScanAuditorBase):
             Findings carry ``class_rates`` (the per-class rates inside
             each region).
         """
-        n_worlds = _check_n_worlds(n_worlds)
-        member = membership or self.membership(regions)
-        N = len(self.coords)
-        K = self.n_classes
-        totals = np.bincount(self.labels, minlength=K).astype(np.float64)
-
-        n = member.counts.astype(np.float64)
-        class_counts = np.stack(
-            [
-                member.positive_counts(
-                    (self.labels == k).astype(np.float64)
-                )
-                for k in range(K)
-            ]
-        )
-        llr = self._class_llr(n, class_counts, N, totals)
-
-        null_max = self.engine.null_distribution(
-            member,
-            MultinomialKernel(N, totals),
-            n_worlds,
+        return run_scan(
+            self.engine,
+            MULTINOMIAL,
+            self._bound,
+            regions,
+            n_worlds=n_worlds,
+            alpha=alpha,
             seed=seed,
+            membership=membership,
             workers=workers,
-        )
-
-        with np.errstate(invalid="ignore"):
-            rates = np.where(
-                n[None, :] > 0,
-                class_counts / np.maximum(n[None, :], 1.0),
-                0.0,
-            )
-        modal = class_counts.argmax(axis=0)
-        p = class_counts[modal, np.arange(len(member))]
-        rho_in = rates[modal, np.arange(len(member))]
-        dir_arr = np.zeros(len(member), dtype=int)
-        return self._assemble(
-            regions, member, n, p, llr, rho_in, dir_arr, null_max,
-            alpha, 0, N, int(totals.max()), class_rates=rates.T,
         )
 
 
@@ -797,7 +1228,8 @@ def equal_opportunity(dataset) -> Measure:
 
     Keeps the observations whose true label is positive; the outcome is
     whether the model predicted them positive.  Spatial fairness of
-    this measure is location-independence of the TPR (recall).
+    this measure is location-independence of the TPR (recall).  The
+    same extraction runs spec-side as ``measure="equal_opportunity"``.
 
     Parameters
     ----------
@@ -810,10 +1242,12 @@ def equal_opportunity(dataset) -> Measure:
     """
     if dataset.y_true is None:
         raise ValueError("equal_opportunity needs y_true labels")
-    mask = np.asarray(dataset.y_true) == 1
+    coords, outcomes = _extract_equal_opportunity(
+        dataset.coords, dataset.y_pred, dataset.y_true
+    )
     return Measure(
-        coords=dataset.coords[mask],
-        outcomes=(np.asarray(dataset.y_pred)[mask] == 1).astype(np.int8),
+        coords=coords,
+        outcomes=outcomes,
         name="equal opportunity (TPR)",
     )
 
@@ -822,7 +1256,8 @@ def predictive_equality(dataset) -> Measure:
     """Predictive-equality measure: is the false positive rate uniform?
 
     Keeps the observations whose true label is negative; the outcome is
-    whether the model (wrongly) predicted them positive.
+    whether the model (wrongly) predicted them positive.  The same
+    extraction runs spec-side as ``measure="predictive_equality"``.
 
     Parameters
     ----------
@@ -835,10 +1270,12 @@ def predictive_equality(dataset) -> Measure:
     """
     if dataset.y_true is None:
         raise ValueError("predictive_equality needs y_true labels")
-    mask = np.asarray(dataset.y_true) == 0
+    coords, outcomes = _extract_predictive_equality(
+        dataset.coords, dataset.y_pred, dataset.y_true
+    )
     return Measure(
-        coords=dataset.coords[mask],
-        outcomes=(np.asarray(dataset.y_pred)[mask] == 1).astype(np.int8),
+        coords=coords,
+        outcomes=outcomes,
         name="predictive equality (FPR)",
     )
 

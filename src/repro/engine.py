@@ -456,6 +456,9 @@ class MonteCarloEngine:
     ----------
     cache_hits, cache_misses : int
         Null-distribution cache counters (diagnostics).
+    index_builds : int
+        Membership matrices actually constructed (cache misses of
+        :meth:`membership`); lets callers assert index reuse.
     """
 
     def __init__(
@@ -475,6 +478,7 @@ class MonteCarloEngine:
         )
         self.cache_hits = 0
         self.cache_misses = 0
+        self.index_builds = 0
 
     def membership(self, regions) -> RegionMembership:
         """The (cached) point-membership index for a region set.
@@ -491,6 +495,7 @@ class MonteCarloEngine:
         if member is None:
             member = RegionMembership(regions, self.coords)
             self._member_cache[regions] = member
+            self.index_builds += 1
         return member
 
     @staticmethod

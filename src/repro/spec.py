@@ -1,0 +1,573 @@
+"""Declarative, serializable audit requests.
+
+An :class:`AuditSpec` is the complete description of one audit — the
+outcome family, the fairness measure, the candidate-region design
+(:class:`RegionSpec`) and the Monte Carlo parameters — as one frozen,
+hashable, strictly validated value object with lossless
+``to_dict``/``from_dict``/``to_json``/``from_json``.  Specs carry no
+data and do no compute: they can be validated up front, deduplicated,
+cached under, stored, and shipped over the wire, then handed to a
+:class:`repro.api.AuditSession` (which binds the dataset) to run.
+
+Every field is checked at construction time, so an invalid request
+fails where it is built — not deep inside the engine::
+
+    >>> from repro.spec import AuditSpec, RegionSpec
+    >>> spec = AuditSpec(regions=RegionSpec.grid(10, 10), seed=1)
+    >>> AuditSpec.from_json(spec.to_json()) == spec
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from .core import CORRECTIONS, FAMILIES, MEASURES
+from .core import _DIRECTIONS as _core_directions
+from .geometry import (
+    GridPartitioning,
+    Rect,
+    RegionSet,
+    circle_region_set,
+    paper_side_lengths,
+    partition_region_set,
+    scan_centers,
+    square_region_set,
+)
+
+__all__ = ["RegionSpec", "AuditSpec", "SPEC_VERSION", "REGION_KINDS"]
+
+#: Serialization schema version written by ``AuditSpec.to_dict``.
+SPEC_VERSION = 1
+
+#: Region designs a :class:`RegionSpec` can describe.
+REGION_KINDS = ("grid", "squares", "circles")
+
+#: Canonical direction names for ``AuditSpec``, derived from the one
+#: alias table the dispatch itself parses (no drift possible).
+_DIRECTION_CANON = {
+    alias: {0: "two-sided", -1: "lower", 1: "higher"}[code]
+    for alias, code in _core_directions.items()
+}
+
+
+def _err(field_name: str, message: str) -> ValueError:
+    return ValueError(f"{field_name}: {message}")
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """The candidate-region design of an audit, as pure parameters.
+
+    Three kinds cover the paper's geometries:
+
+    * ``'grid'`` — a regular ``nx x ny`` grid partitioning
+      (:func:`repro.geometry.partition_region_set`); ``bounds`` fixes
+      the partitioned rectangle, else the data's bounding box is used;
+    * ``'squares'`` — the square scan: every k-means centre
+      (``n_centers``, seeded by ``centers_seed``) crossed with every
+      side length in ``sides`` (empty means the paper's 20 defaults);
+    * ``'circles'`` — Kulldorff's circular scan: every centre crossed
+      with every radius in ``radii``.
+
+    Instances are frozen and hashable, so sessions key their region
+    and membership caches on them directly.
+
+    Examples
+    --------
+    >>> RegionSpec.grid(50, 25).n_regions_hint
+    1250
+    >>> RegionSpec.squares(100).kind
+    'squares'
+    """
+
+    kind: str
+    nx: int | None = None
+    ny: int | None = None
+    n_centers: int | None = None
+    sides: tuple = ()
+    radii: tuple = ()
+    centers_seed: int = 0
+    bounds: tuple | None = None
+
+    def __post_init__(self):
+        if self.kind not in REGION_KINDS:
+            raise _err(
+                "regions.kind",
+                f"unknown kind {self.kind!r}; expected one of "
+                f"{REGION_KINDS}",
+            )
+        object.__setattr__(
+            self, "sides", tuple(float(s) for s in self.sides)
+        )
+        object.__setattr__(
+            self, "radii", tuple(float(r) for r in self.radii)
+        )
+        object.__setattr__(self, "centers_seed", int(self.centers_seed))
+        if self.bounds is not None:
+            bounds = tuple(float(b) for b in self.bounds)
+            if len(bounds) != 4:
+                raise _err(
+                    "regions.bounds",
+                    "expected (min_x, min_y, max_x, max_y)",
+                )
+            if bounds[0] > bounds[2] or bounds[1] > bounds[3]:
+                raise _err(
+                    "regions.bounds",
+                    f"min exceeds max in {bounds}",
+                )
+            object.__setattr__(self, "bounds", bounds)
+        if self.kind == "grid":
+            for name in ("nx", "ny"):
+                value = getattr(self, name)
+                if value is None or int(value) < 1:
+                    raise _err(
+                        f"regions.{name}",
+                        f"a grid design needs {name} >= 1, got {value!r}",
+                    )
+                object.__setattr__(self, name, int(value))
+            if self.n_centers is not None or self.sides or self.radii:
+                raise _err(
+                    "regions",
+                    "a grid design takes no n_centers/sides/radii",
+                )
+            if self.centers_seed != 0:
+                raise _err(
+                    "regions.centers_seed",
+                    "a grid design takes no centers_seed",
+                )
+        else:
+            if self.nx is not None or self.ny is not None:
+                raise _err(
+                    "regions",
+                    f"a {self.kind!r} design takes no nx/ny",
+                )
+            if self.bounds is not None:
+                raise _err(
+                    "regions.bounds",
+                    f"a {self.kind!r} design takes no bounds — its "
+                    "centres come from the data",
+                )
+            if self.n_centers is None or int(self.n_centers) < 1:
+                raise _err(
+                    "regions.n_centers",
+                    f"a {self.kind!r} design needs n_centers >= 1, "
+                    f"got {self.n_centers!r}",
+                )
+            object.__setattr__(self, "n_centers", int(self.n_centers))
+            if any(s <= 0 for s in self.sides):
+                raise _err(
+                    "regions.sides", "side lengths must be positive"
+                )
+            if any(r <= 0 for r in self.radii):
+                raise _err("regions.radii", "radii must be positive")
+            if self.kind == "squares" and self.radii:
+                raise _err(
+                    "regions.radii", "a 'squares' design takes no radii"
+                )
+            if self.kind == "circles":
+                if self.sides:
+                    raise _err(
+                        "regions.sides",
+                        "a 'circles' design takes no sides",
+                    )
+                if not self.radii:
+                    raise _err(
+                        "regions.radii",
+                        "a 'circles' design needs at least one radius",
+                    )
+
+    @classmethod
+    def grid(
+        cls, nx: int, ny: int | None = None, bounds: tuple | None = None
+    ) -> "RegionSpec":
+        """A regular grid partitioning design.
+
+        Parameters
+        ----------
+        nx, ny : int
+            Cells per axis; ``ny`` defaults to ``nx``.
+        bounds : tuple, optional
+            ``(min_x, min_y, max_x, max_y)`` to partition; the data's
+            bounding box when omitted.
+
+        Returns
+        -------
+        RegionSpec
+        """
+        return cls(
+            kind="grid", nx=nx, ny=nx if ny is None else ny, bounds=bounds
+        )
+
+    @classmethod
+    def squares(
+        cls,
+        n_centers: int,
+        sides: tuple = (),
+        centers_seed: int = 0,
+    ) -> "RegionSpec":
+        """A square-scan design around k-means centres.
+
+        Parameters
+        ----------
+        n_centers : int
+            K-means scan centres.
+        sides : tuple of float, optional
+            Square side lengths; empty means the paper's 20 defaults
+            (:func:`repro.geometry.paper_side_lengths`).
+        centers_seed : int, default 0
+            Seed of the k-means initialisation.
+
+        Returns
+        -------
+        RegionSpec
+        """
+        return cls(
+            kind="squares",
+            n_centers=n_centers,
+            sides=tuple(sides),
+            centers_seed=centers_seed,
+        )
+
+    @classmethod
+    def circles(
+        cls,
+        n_centers: int,
+        radii: tuple,
+        centers_seed: int = 0,
+    ) -> "RegionSpec":
+        """A circular-scan (Kulldorff) design around k-means centres.
+
+        Parameters
+        ----------
+        n_centers : int
+        radii : tuple of float
+        centers_seed : int, default 0
+
+        Returns
+        -------
+        RegionSpec
+        """
+        return cls(
+            kind="circles",
+            n_centers=n_centers,
+            radii=tuple(radii),
+            centers_seed=centers_seed,
+        )
+
+    @property
+    def n_regions_hint(self) -> int:
+        """The number of candidate regions the design will produce
+        (for squares with default sides, the paper's 20 per centre)."""
+        if self.kind == "grid":
+            return self.nx * self.ny
+        per_center = (
+            len(self.radii)
+            if self.kind == "circles"
+            else (len(self.sides) or len(paper_side_lengths()))
+        )
+        return self.n_centers * per_center
+
+    def build(self, coords: np.ndarray) -> RegionSet:
+        """Materialise the design over concrete observation locations.
+
+        Parameters
+        ----------
+        coords : ndarray of shape (n, 2)
+
+        Returns
+        -------
+        RegionSet
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if self.kind == "grid":
+            rect = (
+                Rect(*self.bounds)
+                if self.bounds is not None
+                else Rect.bounding(coords)
+            )
+            return partition_region_set(
+                GridPartitioning.regular(rect, self.nx, self.ny)
+            )
+        centers = scan_centers(
+            coords, self.n_centers, seed=self.centers_seed
+        )
+        if self.kind == "squares":
+            sides = self.sides or tuple(paper_side_lengths())
+            return square_region_set(centers, sides)
+        return circle_region_set(centers, self.radii)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON-types dict; drops fields the kind does not use.
+
+        Returns
+        -------
+        dict
+        """
+        out: dict = {"kind": self.kind}
+        if self.kind == "grid":
+            out["nx"] = self.nx
+            out["ny"] = self.ny
+        else:
+            out["n_centers"] = self.n_centers
+            out["centers_seed"] = self.centers_seed
+            if self.kind == "squares":
+                out["sides"] = list(self.sides)
+            else:
+                out["radii"] = list(self.radii)
+        if self.bounds is not None:
+            out["bounds"] = list(self.bounds)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegionSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys.
+
+        Parameters
+        ----------
+        data : dict
+
+        Returns
+        -------
+        RegionSpec
+        """
+        if not isinstance(data, dict):
+            raise _err(
+                "regions", f"expected a dict, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise _err(
+                "regions",
+                f"unknown field(s) {sorted(unknown)}; known: "
+                f"{sorted(known)}",
+            )
+        if "kind" not in data:
+            raise _err(
+                "regions.kind",
+                f"missing — expected one of {REGION_KINDS}",
+            )
+        kwargs = dict(data)
+        for key in ("sides", "radii", "bounds"):
+            if kwargs.get(key) is not None:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class AuditSpec:
+    """One audit request, fully described and ready to serialize.
+
+    Attributes
+    ----------
+    regions : RegionSpec
+        The candidate-region design (a dict is accepted and coerced).
+    family : str, default 'bernoulli'
+        Outcome family; any :data:`repro.core.FAMILIES` key.
+    measure : str, default 'statistical_parity'
+        Fairness measure; any :data:`repro.core.MEASURES` key valid
+        for the family.
+    n_worlds : int, default 99
+        Simulated null worlds.
+    alpha : float, default 0.05
+        Significance level, in (0, 1).
+    direction : str, default 'two-sided'
+        ``'two-sided'``, ``'lower'`` or ``'higher'`` (aliases
+        ``'red'``/``'green'``/``'both'``/``None`` are canonicalised).
+    correction : str, default 'max-stat'
+        Per-region correction; any :data:`repro.core.CORRECTIONS`
+        entry.
+    seed : int, optional
+        Monte Carlo master seed; ``None`` runs unseeded (and uncached).
+    workers : int, optional
+        Worker processes; ``None`` defers to the session default.
+
+    Examples
+    --------
+    >>> spec = AuditSpec(regions=RegionSpec.grid(5, 5), n_worlds=49,
+    ...                  direction="red", seed=7)
+    >>> spec.direction
+    'lower'
+    >>> AuditSpec.from_dict(spec.to_dict()) == spec
+    True
+    """
+
+    regions: RegionSpec
+    family: str = "bernoulli"
+    measure: str = "statistical_parity"
+    n_worlds: int = 99
+    alpha: float = 0.05
+    direction: str = "two-sided"
+    correction: str = "max-stat"
+    seed: int | None = None
+    workers: int | None = None
+
+    def __post_init__(self):
+        if isinstance(self.regions, dict):
+            object.__setattr__(
+                self, "regions", RegionSpec.from_dict(self.regions)
+            )
+        if not isinstance(self.regions, RegionSpec):
+            raise _err(
+                "regions",
+                "expected a RegionSpec (or its dict form), got "
+                f"{type(self.regions).__name__}",
+            )
+        if self.family not in FAMILIES:
+            raise _err(
+                "family",
+                f"unknown family {self.family!r}; registered: "
+                f"{sorted(FAMILIES)}",
+            )
+        measure = MEASURES.get(self.measure)
+        if measure is None:
+            raise _err(
+                "measure",
+                f"unknown measure {self.measure!r}; registered: "
+                f"{sorted(MEASURES)}",
+            )
+        if (
+            measure.families is not None
+            and self.family not in measure.families
+        ):
+            raise _err(
+                "measure",
+                f"measure {self.measure!r} applies to families "
+                f"{measure.families}, not {self.family!r}",
+            )
+        n_worlds = int(self.n_worlds)
+        if n_worlds < 1:
+            raise _err("n_worlds", f"must be >= 1, got {self.n_worlds}")
+        object.__setattr__(self, "n_worlds", n_worlds)
+        alpha = float(self.alpha)
+        if not 0.0 < alpha < 1.0:
+            raise _err("alpha", f"must lie in (0, 1), got {self.alpha}")
+        object.__setattr__(self, "alpha", alpha)
+        try:
+            direction = _DIRECTION_CANON[self.direction]
+        except (KeyError, TypeError):
+            raise _err(
+                "direction",
+                f"unknown direction {self.direction!r}; expected one "
+                f"of {sorted(set(_DIRECTION_CANON) - {None})}",
+            ) from None
+        object.__setattr__(self, "direction", direction)
+        if (
+            direction != "two-sided"
+            and not FAMILIES[self.family].directional
+        ):
+            raise _err(
+                "direction",
+                f"family {self.family!r} only supports two-sided scans",
+            )
+        if self.correction not in CORRECTIONS:
+            raise _err(
+                "correction",
+                f"unknown correction {self.correction!r}; expected one "
+                f"of {CORRECTIONS}",
+            )
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+        if self.workers is not None:
+            workers = int(self.workers)
+            if workers < 1:
+                raise _err(
+                    "workers", f"must be >= 1, got {self.workers}"
+                )
+            object.__setattr__(self, "workers", workers)
+
+    def to_dict(self) -> dict:
+        """The spec as plain JSON types, stamped with
+        :data:`SPEC_VERSION`.
+
+        Returns
+        -------
+        dict
+        """
+        return {
+            "version": SPEC_VERSION,
+            "family": self.family,
+            "measure": self.measure,
+            "regions": self.regions.to_dict(),
+            "n_worlds": self.n_worlds,
+            "alpha": self.alpha,
+            "direction": self.direction,
+            "correction": self.correction,
+            "seed": self.seed,
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditSpec":
+        """Inverse of :meth:`to_dict`; strict about keys and version.
+
+        Parameters
+        ----------
+        data : dict
+
+        Returns
+        -------
+        AuditSpec
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"spec: expected a dict, got {type(data).__name__}"
+            )
+        data = dict(data)
+        version = data.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"spec: unsupported version {version!r} (this build "
+                f"reads version {SPEC_VERSION})"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"spec: unknown field(s) {sorted(unknown)}; known: "
+                f"{sorted(known)}"
+            )
+        if "regions" not in data:
+            raise _err("regions", "missing — every spec needs a design")
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON form of :meth:`to_dict`.
+
+        Parameters
+        ----------
+        indent : int, optional
+
+        Returns
+        -------
+        str
+        """
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AuditSpec":
+        """Parse a spec from its JSON form (inverse of
+        :meth:`to_json`).
+
+        Parameters
+        ----------
+        text : str
+
+        Returns
+        -------
+        AuditSpec
+        """
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """One-line human summary of the request."""
+        return (
+            f"{self.family}/{self.measure} over {self.regions.kind} "
+            f"({self.regions.n_regions_hint} regions), "
+            f"{self.n_worlds} worlds, alpha={self.alpha:g}, "
+            f"{self.direction}, {self.correction}"
+        )

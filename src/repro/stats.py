@@ -142,9 +142,9 @@ def poisson_llr(
     obs = np.asarray(obs, dtype=np.float64)
     exp = np.asarray(exp, dtype=np.float64)
     obs, exp = np.broadcast_arrays(obs, exp)
-    O = float(total_obs)
-    obs_out = O - obs
-    exp_out = O - exp
+    total = float(total_obs)
+    obs_out = total - obs
+    exp_out = total - exp
     valid = (exp > 0) & (exp_out > 0)
     with np.errstate(divide="ignore", invalid="ignore"):
         llr = _xlogy(obs, np.where(valid, obs / np.maximum(exp, 1e-300), 1.0))

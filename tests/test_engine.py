@@ -171,8 +171,10 @@ class TestWorkersBitIdentical:
                 )
             if family == "poisson":
                 observed, forecast = biased_counts
-                O = float(observed.sum())
-                return PoissonKernel(forecast * (O / forecast.sum()), O)
+                total = float(observed.sum())
+                return PoissonKernel(
+                    forecast * (total / forecast.sum()), total
+                )
             return MultinomialKernel(
                 len(unit_coords),
                 np.bincount(biased_classes, minlength=3),

@@ -21,6 +21,8 @@ sys.path.insert(0, str(ROOT / "src"))
 
 MODULES = [
     "repro",
+    "repro.api",
+    "repro.spec",
     "repro.core",
     "repro.engine",
     "repro.geometry",
@@ -89,6 +91,12 @@ def main() -> None:
                 _emit_class(name, obj, lines)
             elif callable(obj):
                 _emit_callable(name, obj, lines)
+            elif isinstance(obj, dict):
+                # Registries hold live objects whose reprs carry memory
+                # addresses; document the keys, which are the API.
+                lines.append(f"### `{name}`\n")
+                keys = ", ".join(f"`{key!r}`" for key in obj)
+                lines.append(f"Registry with entries: {keys}\n")
             else:
                 lines.append(f"### `{name}`\n")
                 lines.append(f"Constant: `{obj!r}`\n")
