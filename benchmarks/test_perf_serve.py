@@ -1,0 +1,150 @@
+"""Perf: the batched audit service — fused vs sequential throughput.
+
+The production question behind :mod:`repro.serve`: when six audits
+share one dataset and one null model (different region designs,
+significance levels and corrections), how much does fusing their
+Monte Carlo passes save?  This benchmark runs the same 6-spec batch
+over the LAR-like dataset twice:
+
+* **sequential** — one :class:`repro.api.AuditSession`, ``run()`` per
+  spec: every spec simulates its own ``N_WORLDS`` null worlds;
+* **fused** — one :class:`repro.serve.AuditService` batch: the group
+  simulates its worlds once and scores all six specs' statistics per
+  world through the stacked membership matrix.
+
+Results land in ``BENCH_serve.json`` at the repository root (field
+glossary in EXPERIMENTS.md).  Asserted unconditionally: fused reports
+are bit-identical to sequential ones, and fusion simulates >= 2x
+fewer worlds — here 5x, a deterministic count immune to machine
+noise.  (Not 6x: the sequential baseline is honest and keeps its
+engine null cache, which already dedupes the two specs sharing the
+grid(50, 25) design — they differ only in ``correction`` — so
+sequential simulates 5 passes, fused 1.)  The wall-clock speedup is
+always recorded; it is asserted
+(>= 2x) only under ``BENCH_STRICT=1`` on a quiet machine, mirroring
+``test_perf_engine.py`` — though unlike fork-pool parallelism the
+fused saving is algorithmic and shows up on a single core too.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import AuditService, AuditSession, AuditSpec, RegionSpec
+
+#: One shared null model: same family/measure/direction/worlds/seed;
+#: the six specs differ in region design, alpha and correction.
+N_WORLDS = 1024
+SEED = 29
+ALPHA = 0.005
+
+
+def _specs() -> list:
+    return [
+        AuditSpec(regions=RegionSpec.grid(50, 25), n_worlds=N_WORLDS,
+                  alpha=ALPHA, seed=SEED),
+        AuditSpec(regions=RegionSpec.grid(25, 12), n_worlds=N_WORLDS,
+                  alpha=ALPHA, seed=SEED),
+        AuditSpec(regions=RegionSpec.grid(40, 20), n_worlds=N_WORLDS,
+                  alpha=ALPHA, seed=SEED),
+        AuditSpec(regions=RegionSpec.grid(50, 25), n_worlds=N_WORLDS,
+                  alpha=ALPHA, seed=SEED, correction="fdr-bh"),
+        AuditSpec(regions=RegionSpec.squares(60, centers_seed=0),
+                  n_worlds=N_WORLDS, alpha=ALPHA, seed=SEED),
+        AuditSpec(regions=RegionSpec.grid(10, 10), n_worlds=N_WORLDS,
+                  alpha=ALPHA, seed=SEED),
+    ]
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _fingerprint(report):
+    result = report.result
+    return (
+        result.is_fair,
+        result.p_value,
+        result.critical_value,
+        tuple(f.index for f in result.significant_findings),
+        tuple(f.p_value for f in result.findings),
+    )
+
+
+def test_perf_serve(lar):
+    specs = _specs()
+
+    # Fresh session per mode so neither can hit the other's caches;
+    # region sets and membership indexes are prebuilt outside the
+    # timings in BOTH modes (identical index work either way — the
+    # story here is world simulation, not index builds).
+    sequential_session = AuditSession(lar.coords, lar.y_pred)
+    fused_session = AuditSession(lar.coords, lar.y_pred)
+    for session in (sequential_session, fused_session):
+        for spec in specs:
+            session.resolve(spec)
+
+    t0 = time.perf_counter()
+    sequential = [sequential_session.run(spec) for spec in specs]
+    t_sequential = time.perf_counter() - t0
+    worlds_sequential = sequential_session.worlds_simulated
+
+    service = AuditService(fused_session)
+    t0 = time.perf_counter()
+    fused = service.run_batch(specs)
+    t_fused = time.perf_counter() - t0
+    worlds_fused = fused_session.worlds_simulated
+
+    identical = all(
+        _fingerprint(a) == _fingerprint(b)
+        for a, b in zip(sequential, fused)
+    )
+    stats = service.stats()
+    worlds_ratio = worlds_sequential / max(worlds_fused, 1)
+    payload = {
+        "workload": {
+            "n_points": len(lar.coords),
+            "n_specs": len(specs),
+            "n_worlds_per_spec": N_WORLDS,
+            "seed": SEED,
+            "family": "bernoulli",
+            "designs": [spec.regions.kind for spec in specs],
+        },
+        "machine_usable_cores": _usable_cores(),
+        "sequential_seconds": round(t_sequential, 4),
+        "sequential_worlds_simulated": worlds_sequential,
+        "fused_seconds": round(t_fused, 4),
+        "fused_worlds_simulated": worlds_fused,
+        "fused_groups": stats["fused_groups"],
+        "worlds_ratio": round(worlds_ratio, 2),
+        "fused_speedup": round(t_sequential / t_fused, 3),
+        "specs_per_sec_sequential": round(
+            len(specs) / t_sequential, 2
+        ),
+        "specs_per_sec_fused": round(len(specs) / t_fused, 2),
+        "fused_identical_to_sequential": identical,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n=== Batch service perf (BENCH_serve.json) ===")
+    for key in (
+        "sequential_seconds", "fused_seconds", "fused_speedup",
+        "worlds_ratio", "fused_groups",
+        "fused_identical_to_sequential",
+    ):
+        print(f"{key}: {payload[key]}")
+
+    # Bit-identity and the world amortisation are deterministic —
+    # asserted everywhere, any machine.
+    assert identical
+    assert stats["fused_groups"] == 1
+    assert worlds_ratio >= 2.0
+    assert worlds_fused == N_WORLDS
+    # Wall-clock is machine-dependent; opt in like the engine bench.
+    if os.environ.get("BENCH_STRICT") == "1":
+        assert t_sequential / t_fused >= 2.0

@@ -26,7 +26,13 @@ The same request as a serializable value object::
 Or from the command line: ``python -m repro run spec.json --data
 data.npz``.
 
+Batches of specs over one dataset fuse their Monte Carlo passes
+through :class:`repro.serve.AuditService` (see :mod:`repro.serve`),
+or from the shell: ``python -m repro batch specs/*.json --data
+data.npz``.
+
 Module map: :mod:`repro.api` (sessions, reports, the builder),
+:mod:`repro.serve` (batched multi-spec service, fused simulation),
 :mod:`repro.spec` (declarative audit requests), :mod:`repro.core`
 (family/measure registries, dispatch, legacy auditors, analyses),
 :mod:`repro.engine` (shared parallel Monte Carlo engine),
@@ -41,6 +47,7 @@ from .api import (
     AuditBuilder,
     AuditReport,
     AuditSession,
+    ResolvedSpec,
     audit,
 )
 from .baselines import (
@@ -96,15 +103,17 @@ from .geometry import (
     scan_centers,
     square_region_set,
 )
-from .index import GridIndex, KDTree, RegionMembership
+from .index import GridIndex, KDTree, RegionMembership, StackedMembership
+from .serve import AuditService, PendingAudit
 from .spec import AuditSpec, RegionSpec
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "AuditBuilder",
     "AuditReport",
     "AuditResult",
+    "AuditService",
     "AuditSession",
     "AuditSpec",
     "BernoulliKernel",
@@ -125,6 +134,7 @@ __all__ = [
     "MultinomialKernel",
     "MultinomialSpatialAuditor",
     "NaiveAuditResult",
+    "PendingAudit",
     "PoissonKernel",
     "PoissonSpatialAuditor",
     "PowerAnalysis",
@@ -134,7 +144,9 @@ __all__ = [
     "RegionMembership",
     "RegionSet",
     "RegionSpec",
+    "ResolvedSpec",
     "ScanFamily",
+    "StackedMembership",
     "SpatialDataset",
     "SpatialFairnessAuditor",
     "audit",

@@ -1,11 +1,18 @@
 """Command-line entry point: run serialized audit specs.
 
-Runs a declarative :class:`repro.spec.AuditSpec` (JSON) against a
-dataset stored as a numpy ``.npz`` archive and prints the
-:class:`repro.api.AuditReport` as JSON::
+Runs declarative :class:`repro.spec.AuditSpec` requests (JSON) against
+a dataset stored as a numpy ``.npz`` archive and prints
+:class:`repro.api.AuditReport` payloads as JSON::
 
     python -m repro run spec.json --data data.npz
+    python -m repro batch specs/*.json --data data.npz
     python -m repro validate spec.json
+
+``batch`` serves every spec through one
+:class:`repro.serve.AuditService`: specs sharing a null model are
+fused into a single Monte Carlo pass, and the emitted payload carries
+the service counters (worlds requested vs simulated) alongside the
+per-spec reports.
 
 The ``.npz`` archive must hold ``coords`` (an ``(n, 2)`` float array)
 and the outcomes under ``outcomes`` (aliases ``y_pred``, ``labels`` or
@@ -22,6 +29,7 @@ import sys
 import numpy as np
 
 from .api import AuditSession
+from .serve import AuditService
 from .spec import AuditSpec
 
 #: Accepted ``.npz`` keys for the outcomes array, in precedence order.
@@ -108,12 +116,43 @@ def main(argv: list | None = None) -> int:
         "--indent", type=int, default=2, help="JSON indent (default 2)"
     )
 
+    batch = sub.add_parser(
+        "batch",
+        help="serve many specs at once, fusing shared Monte Carlo "
+        "passes",
+    )
+    batch.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="AuditSpec JSON files (e.g. specs/*.json)",
+    )
+    batch.add_argument(
+        "--data", required=True, metavar="NPZ",
+        help=".npz with coords + outcomes (+ y_true/forecast)",
+    )
+    batch.add_argument(
+        "--full", action="store_true",
+        help="include every scanned region in each report",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="session default worker count",
+    )
+    batch.add_argument(
+        "--n-classes", type=int, default=None,
+        help="class count for multinomial specs",
+    )
+    batch.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (default 2)"
+    )
+
     validate = sub.add_parser(
         "validate", help="parse a spec and print its canonical form"
     )
     validate.add_argument("spec", help="AuditSpec JSON file")
 
     args = parser.parse_args(argv)
+    if args.command == "batch":
+        return _run_batch(args)
     try:
         spec = _load_spec(args.spec)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
@@ -131,6 +170,34 @@ def main(argv: list | None = None) -> int:
         print(f"audit failed: {exc}", file=sys.stderr)
         return 1
     print(json.dumps(report.to_dict(full=args.full), indent=args.indent))
+    return 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    """The ``batch`` subcommand: load every spec, serve the batch
+    fused, print reports + service counters as one JSON payload."""
+    specs = []
+    for path in args.specs:
+        try:
+            specs.append(_load_spec(path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"invalid spec {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        session = _load_session(args.data, args.workers, args.n_classes)
+        service = AuditService(session)
+        reports = service.run_batch(specs)
+    except (OSError, ValueError) as exc:
+        print(f"batch audit failed: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        "version": 1,
+        "reports": [
+            report.to_dict(full=args.full) for report in reports
+        ],
+        "service": service.stats(),
+    }
+    print(json.dumps(payload, indent=args.indent))
     return 0
 
 

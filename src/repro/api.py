@@ -38,12 +38,25 @@ from typing import Sequence
 
 import numpy as np
 
-from .core import FAMILIES, MEASURES, AuditResult, run_scan
-from .engine import MonteCarloEngine
+from .core import (
+    FAMILIES,
+    MEASURES,
+    AuditResult,
+    _parse_direction,
+    run_scan,
+)
+from .engine import LLRKernel, MonteCarloEngine
 from .geometry import RegionSet
+from .index import RegionMembership
 from .spec import AuditSpec, RegionSpec
 
-__all__ = ["AuditSession", "AuditReport", "AuditBuilder", "audit"]
+__all__ = [
+    "AuditSession",
+    "AuditReport",
+    "AuditBuilder",
+    "ResolvedSpec",
+    "audit",
+]
 
 #: Version stamp of ``AuditReport.to_dict`` payloads.
 REPORT_VERSION = 1
@@ -152,6 +165,42 @@ class AuditReport:
                 self._finding_dict(f) for f in result.findings
             ]
         return out
+
+
+@dataclass(frozen=True)
+class ResolvedSpec:
+    """One spec materialised against a session, ready to execute.
+
+    The bundle of cached intermediates a spec needs to run: the
+    measure's engine, the family's bound data, the materialised region
+    set with its membership index, and the spec's Monte Carlo kernel.
+    :meth:`AuditSession.resolve` produces it;
+    :class:`repro.serve.AuditService` groups resolved specs whose
+    kernels agree into one fused simulation pass.
+
+    Attributes
+    ----------
+    spec : AuditSpec
+        The request this resolution answers.
+    engine : MonteCarloEngine
+        The engine over the spec's measured coordinate subset.
+    bound : dict
+        The family's validated bound state.
+    regions : RegionSet
+        The materialised candidate regions.
+    member : RegionMembership
+        The regions' (cached) membership index.
+    kernel : LLRKernel
+        The spec's null-model kernel; ``kernel.cache_key()`` is the
+        fusion key — equal keys mean shareable simulated worlds.
+    """
+
+    spec: AuditSpec
+    engine: MonteCarloEngine
+    bound: dict
+    regions: RegionSet
+    member: RegionMembership
+    kernel: LLRKernel
 
 
 class AuditSession:
@@ -318,9 +367,67 @@ class AuditSession:
         """Membership matrices built so far, across all engines."""
         return sum(e.index_builds for e in self._engines.values())
 
+    @property
+    def worlds_simulated(self) -> int:
+        """Null worlds actually simulated so far, across all engines
+        (cache answers and fused sharing excluded) — the denominator
+        of every batching-amortisation claim."""
+        return sum(e.worlds_simulated for e in self._engines.values())
+
     # -- running specs --------------------------------------------------
 
-    def run(self, spec: AuditSpec) -> AuditReport:
+    def _check_spec(self, spec) -> None:
+        if not isinstance(spec, AuditSpec):
+            raise ValueError(
+                "spec: expected an AuditSpec, got "
+                f"{type(spec).__name__} — parse dicts/JSON with "
+                "AuditSpec.from_dict/from_json first"
+            )
+
+    def resolve(self, spec: AuditSpec) -> ResolvedSpec:
+        """Materialise a spec's cached intermediates without running it.
+
+        Validates the spec against this session's data, builds (or
+        fetches from cache) its region set and membership index, and
+        constructs its Monte Carlo kernel.  Fused batch executors
+        (:class:`repro.serve.AuditService`) resolve every submitted
+        spec first, then group the resolutions by
+        ``kernel.cache_key()`` to share simulated worlds.
+
+        Parameters
+        ----------
+        spec : AuditSpec
+
+        Returns
+        -------
+        ResolvedSpec
+
+        Raises
+        ------
+        ValueError
+            When the session lacks data the spec needs, or the spec's
+            region design yields no scannable regions.
+        """
+        self._check_spec(spec)
+        regions = self.region_set(spec.regions, spec.measure)
+        engine = self._engine(spec.measure)
+        bound = self._family_bound(spec.family, spec.measure)
+        member = engine.membership(regions)
+        kernel = FAMILIES[spec.family].kernel(
+            bound, _parse_direction(spec.direction)
+        )
+        return ResolvedSpec(
+            spec=spec,
+            engine=engine,
+            bound=bound,
+            regions=regions,
+            member=member,
+            kernel=kernel,
+        )
+
+    def run(
+        self, spec: AuditSpec, null_max: np.ndarray | None = None
+    ) -> AuditReport:
         """Run one declarative audit request.
 
         Parameters
@@ -328,6 +435,10 @@ class AuditSession:
         spec : AuditSpec
             A validated request; dicts/JSON must be parsed first via
             :meth:`repro.spec.AuditSpec.from_dict` / ``from_json``.
+        null_max : ndarray of shape (spec.n_worlds,), optional
+            Precomputed null max-statistic distribution for this spec
+            (the fused-batch hook; see :func:`repro.core.run_scan`).
+            When given, no worlds are simulated.
 
         Returns
         -------
@@ -340,12 +451,7 @@ class AuditSession:
             y_true, ...), or the spec's region design yields no
             scannable regions.
         """
-        if not isinstance(spec, AuditSpec):
-            raise ValueError(
-                "spec: expected an AuditSpec, got "
-                f"{type(spec).__name__} — parse dicts/JSON with "
-                "AuditSpec.from_dict/from_json first"
-            )
+        self._check_spec(spec)
         regions = self.region_set(spec.regions, spec.measure)
         result = run_scan(
             self._engine(spec.measure),
@@ -360,6 +466,7 @@ class AuditSession:
             else self.workers,
             correction=spec.correction,
             spec_field="spec.regions",
+            null_max=null_max,
         )
         return AuditReport(spec=spec, result=result)
 

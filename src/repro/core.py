@@ -553,6 +553,7 @@ def run_scan(
     workers: int | None = None,
     correction: str = "max-stat",
     spec_field: str = "regions",
+    null_max: np.ndarray | None = None,
 ) -> AuditResult:
     """The one spec-driven dispatch every audit runs through.
 
@@ -580,6 +581,14 @@ def run_scan(
     spec_field : str, default 'regions'
         Name used in region-validation errors, so spec-driven callers
         can point at the offending ``AuditSpec`` field.
+    null_max : ndarray of shape (n_worlds,), optional
+        A precomputed null max-statistic distribution for this exact
+        design — the multi-statistic evaluation hook.  Fused batch
+        callers (:class:`repro.serve.AuditService`) simulate one
+        world pass for many specs through
+        :meth:`repro.engine.MonteCarloEngine.null_distribution_multi`
+        and hand each spec's slice in here; the engine is then not
+        consulted and no further worlds are simulated.
 
     Returns
     -------
@@ -624,13 +633,21 @@ def run_scan(
             "observation — the region geometry does not cover the data"
         )
     obs = family.observed(bound, member, d)
-    null_max = engine.null_distribution(
-        member,
-        family.kernel(bound, d),
-        n_worlds,
-        seed=seed,
-        workers=workers,
-    )
+    if null_max is None:
+        null_max = engine.null_distribution(
+            member,
+            family.kernel(bound, d),
+            n_worlds,
+            seed=seed,
+            workers=workers,
+        )
+    else:
+        null_max = np.asarray(null_max, dtype=np.float64).ravel()
+        if len(null_max) != n_worlds:
+            raise ValueError(
+                f"null_max: expected {n_worlds} simulated maxima "
+                f"(one per world), got {len(null_max)}"
+            )
     return _assemble(regions, obs, null_max, alpha, d, correction)
 
 

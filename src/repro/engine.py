@@ -43,7 +43,7 @@ from collections import OrderedDict
 import numpy as np
 from scipy.special import xlogy
 
-from .index import RegionMembership
+from .index import RegionMembership, StackedMembership
 from .stats import poisson_llr
 
 __all__ = [
@@ -409,15 +409,36 @@ _FORK_STATE: dict = {}
 _FORK_LOCK = threading.Lock()
 
 
-def _attach_worker(shm_name: str, n_worlds: int) -> None:
+def _attach_worker(shm_name: str, shape: tuple) -> None:
     """Pool initializer: map the shared null-max buffer once per worker."""
     from multiprocessing import shared_memory
 
     shm = shared_memory.SharedMemory(name=shm_name)
     _FORK_STATE["shm"] = shm
     _FORK_STATE["out"] = np.ndarray(
-        (n_worlds,), dtype=np.float64, buffer=shm.buf
+        shape, dtype=np.float64, buffer=shm.buf
     )
+
+
+def _write_maxima(
+    out: np.ndarray,
+    llr: np.ndarray,
+    start: int,
+    width: int,
+    segments: list | None,
+) -> None:
+    """Reduce one chunk's (regions, worlds) scores to per-world maxima.
+
+    With ``segments=None`` the chunk's global maximum lands in the 1-d
+    output span (the single-design path); otherwise each segment — one
+    stacked member design — reduces independently into its own row of
+    the 2-d output (the fused multi-design path).
+    """
+    if segments is None:
+        out[start : start + width] = llr.max(axis=0)
+    else:
+        for i, (a, b) in enumerate(segments):
+            out[i, start : start + width] = llr[a:b].max(axis=0)
 
 
 def _run_chunk(chunk_id: int) -> int:
@@ -428,7 +449,9 @@ def _run_chunk(chunk_id: int) -> int:
     rng = np.random.default_rng(_FORK_STATE["seeds"][chunk_id])
     worlds = kernel.simulate(rng, width)
     llr = kernel.score(worlds)
-    _FORK_STATE["out"][start : start + width] = llr.max(axis=0)
+    _write_maxima(
+        _FORK_STATE["out"], llr, start, width, _FORK_STATE["segments"]
+    )
     return chunk_id
 
 
@@ -459,6 +482,11 @@ class MonteCarloEngine:
     index_builds : int
         Membership matrices actually constructed (cache misses of
         :meth:`membership`); lets callers assert index reuse.
+    worlds_simulated : int
+        Total null worlds actually simulated (cache hits excluded).  A
+        fused :meth:`null_distribution_multi` pass counts its world
+        budget once however many designs it scores, so the counter
+        measures exactly the work batching amortises.
     """
 
     def __init__(
@@ -479,6 +507,7 @@ class MonteCarloEngine:
         self.cache_hits = 0
         self.cache_misses = 0
         self.index_builds = 0
+        self.worlds_simulated = 0
 
     def membership(self, regions) -> RegionMembership:
         """The (cached) point-membership index for a region set.
@@ -578,19 +607,9 @@ class MonteCarloEngine:
                 return per_member[key].copy()
             self.cache_misses += 1
 
-        kernel.bind(member)
-        chunks = self.chunk_layout(
-            kernel.chunk_points, n_worlds, chunk_worlds
+        null_max = self._simulate_pass(
+            kernel, member, n_worlds, seed, workers, chunk_worlds, None
         )
-        seeds = np.random.SeedSequence(seed).spawn(len(chunks))
-        workers = self.workers if workers is None else workers
-        n_procs = min(int(workers or 1), len(chunks))
-        if n_procs >= 2 and hasattr(os, "fork"):
-            null_max = self._null_parallel(
-                kernel, chunks, seeds, n_worlds, n_procs
-            )
-        else:
-            null_max = self._null_serial(kernel, chunks, seeds, n_worlds)
 
         if key is not None:
             per_member = self._null_cache.setdefault(member, OrderedDict())
@@ -599,16 +618,136 @@ class MonteCarloEngine:
                 per_member.popitem(last=False)
         return null_max
 
+    def null_distribution_multi(
+        self,
+        members: list,
+        kernel: LLRKernel,
+        n_worlds: int,
+        seed: int | None = None,
+        workers: int | None = None,
+        chunk_worlds: int | None = None,
+    ) -> list:
+        """Null distributions of several region designs from **one**
+        simulation pass — the engine's multi-statistic evaluation hook.
+
+        All designs share the same null model (one ``kernel``), so each
+        world batch is simulated once and scored against the stacked
+        membership matrix of every design
+        (:class:`repro.index.StackedMembership`); per-design maxima are
+        reduced segment by segment.  The chunk layout and per-chunk
+        random streams are identical to :meth:`null_distribution`'s, so
+        every returned distribution is **bit-identical** to the one a
+        solo run of that design would produce — fused and sequential
+        audits agree exactly, and both share the same null cache.
+
+        Parameters
+        ----------
+        members : list of RegionMembership
+            One membership index per design.  Duplicates (by identity)
+            are simulated once; designs already answered by the null
+            cache are not re-simulated.
+        kernel : LLRKernel
+            The shared null model.  Callers must ensure every design in
+            the batch really does share it (same family, simulation
+            parameters and direction — equal ``kernel.cache_key()``).
+        n_worlds, seed, workers, chunk_worlds
+            As in :meth:`null_distribution`.
+
+        Returns
+        -------
+        list of ndarray of float64, shape (n_worlds,)
+            One null max-statistic distribution per entry of
+            ``members``, in order.
+        """
+        n_worlds = int(n_worlds)
+        key = None
+        if seed is not None:
+            key = (kernel.cache_key(), n_worlds, int(seed), chunk_worlds)
+        results: dict = {}
+        misses: list = []
+        for member in members:
+            if id(member) in results or any(
+                member is m for m in misses
+            ):
+                continue
+            if key is not None:
+                per_member = self._null_cache.get(member)
+                if per_member is not None and key in per_member:
+                    self.cache_hits += 1
+                    per_member.move_to_end(key)
+                    results[id(member)] = per_member[key]
+                    continue
+                self.cache_misses += 1
+            misses.append(member)
+        if misses:
+            stacked = StackedMembership(misses)
+            nulls = self._simulate_pass(
+                kernel,
+                stacked,
+                n_worlds,
+                seed,
+                workers,
+                chunk_worlds,
+                stacked.segments,
+            )
+            for member, null_max in zip(misses, nulls):
+                results[id(member)] = null_max
+                if key is not None:
+                    per_member = self._null_cache.setdefault(
+                        member, OrderedDict()
+                    )
+                    per_member[key] = null_max.copy()
+                    while len(per_member) > self.cache_size:
+                        per_member.popitem(last=False)
+        return [results[id(member)].copy() for member in members]
+
+    def _simulate_pass(
+        self,
+        kernel: LLRKernel,
+        member,
+        n_worlds: int,
+        seed: int | None,
+        workers: int | None,
+        chunk_worlds: int | None,
+        segments: list | None,
+    ) -> np.ndarray:
+        """Bind, chunk, seed and run one simulation pass (serial or
+        pooled); ``segments`` selects per-design reduction."""
+        kernel.bind(member)
+        chunks = self.chunk_layout(
+            kernel.chunk_points, n_worlds, chunk_worlds
+        )
+        seeds = np.random.SeedSequence(seed).spawn(len(chunks))
+        workers = self.workers if workers is None else workers
+        n_procs = min(int(workers or 1), len(chunks))
+        self.worlds_simulated += n_worlds
+        if n_procs >= 2 and hasattr(os, "fork"):
+            return self._null_parallel(
+                kernel, chunks, seeds, n_worlds, n_procs, segments
+            )
+        return self._null_serial(
+            kernel, chunks, seeds, n_worlds, segments
+        )
+
     @staticmethod
     def _null_serial(
-        kernel: LLRKernel, chunks: list, seeds: list, n_worlds: int
+        kernel: LLRKernel,
+        chunks: list,
+        seeds: list,
+        n_worlds: int,
+        segments: list | None = None,
     ) -> np.ndarray:
-        null_max = np.empty(n_worlds)
+        shape = (
+            (n_worlds,)
+            if segments is None
+            else (len(segments), n_worlds)
+        )
+        null_max = np.empty(shape)
         for (start, width), child in zip(chunks, seeds):
             rng = np.random.default_rng(child)
             worlds = kernel.simulate(rng, width)
             llr = kernel.score(worlds)
-            null_max[start : start + width] = llr.max(axis=0)
+            _write_maxima(null_max, llr, start, width, segments)
         return null_max
 
     @staticmethod
@@ -618,14 +757,19 @@ class MonteCarloEngine:
         seeds: list,
         n_worlds: int,
         n_procs: int,
+        segments: list | None = None,
     ) -> np.ndarray:
         import multiprocessing
         from multiprocessing import shared_memory
 
         ctx = multiprocessing.get_context("fork")
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(n_worlds * 8, 8)
+        shape = (
+            (n_worlds,)
+            if segments is None
+            else (len(segments), n_worlds)
         )
+        size = int(np.prod(shape)) * 8
+        shm = shared_memory.SharedMemory(create=True, size=max(size, 8))
         # The lock spans populate -> fork -> clear: a concurrent run
         # must not overwrite the state another pool is about to
         # inherit.
@@ -633,11 +777,12 @@ class MonteCarloEngine:
             _FORK_STATE["kernel"] = kernel
             _FORK_STATE["chunks"] = chunks
             _FORK_STATE["seeds"] = seeds
+            _FORK_STATE["segments"] = segments
             try:
                 with ctx.Pool(
                     processes=n_procs,
                     initializer=_attach_worker,
-                    initargs=(shm.name, n_worlds),
+                    initargs=(shm.name, shape),
                 ) as pool:
                     # Unordered is safe: each chunk owns a disjoint
                     # slice of the shared buffer.
@@ -646,7 +791,7 @@ class MonteCarloEngine:
                     ):
                         pass
                 out = np.ndarray(
-                    (n_worlds,), dtype=np.float64, buffer=shm.buf
+                    shape, dtype=np.float64, buffer=shm.buf
                 ).copy()
             finally:
                 _FORK_STATE.clear()

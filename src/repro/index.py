@@ -19,7 +19,7 @@ import numpy as np
 
 from .geometry import Rect, RegionSet
 
-__all__ = ["KDTree", "GridIndex", "RegionMembership"]
+__all__ = ["KDTree", "GridIndex", "RegionMembership", "StackedMembership"]
 
 
 class KDTree:
@@ -347,3 +347,106 @@ class RegionMembership:
         """Indices of the points inside region ``region``."""
         m = self._matrix
         return m.indices[m.indptr[region] : m.indptr[region + 1]]
+
+
+class StackedMembership:
+    """Several region designs' membership matrices over the *same*
+    points, vertically stacked into one sparse matrix.
+
+    The fused batch path simulates each null world once and must score
+    every member design against it.  Stacking the designs' membership
+    matrices turns that into a single sparse mat-vec per world batch —
+    exactly the trick :class:`RegionMembership` plays for one design,
+    lifted to a whole batch of audits.  :attr:`segments` maps stacked
+    rows back to each member, and because CSR rows are computed
+    independently, every statistic (and hence every audit verdict) is
+    bit-identical to scoring the members one by one.
+
+    The object quacks like :class:`RegionMembership` for the engine's
+    :class:`repro.engine.LLRKernel` binding (``counts``,
+    ``positive_counts``, ``positive_counts_batch``, ``len``).
+
+    Parameters
+    ----------
+    members : sequence of RegionMembership
+        Membership indexes built over the same coordinate array (the
+        point counts must agree).
+
+    Attributes
+    ----------
+    segments : list of (int, int)
+        Half-open row span of each member in the stacked matrix.
+    counts : ndarray of int64
+        Concatenated per-region observation counts.
+    """
+
+    def __init__(self, members):
+        from scipy import sparse
+
+        members = list(members)
+        if not members:
+            raise ValueError(
+                "members: need at least one RegionMembership to stack"
+            )
+        n_points = {m.n_points for m in members}
+        if len(n_points) != 1:
+            raise ValueError(
+                "members: all stacked memberships must index the same "
+                f"points, got point counts {sorted(n_points)}"
+            )
+        self.members = members
+        self.n_points = members[0].n_points
+        self._matrix = sparse.vstack(
+            [m._matrix for m in members], format="csr"
+        )
+        self.counts = np.concatenate([m.counts for m in members])
+        offsets = np.cumsum([0] + [len(m) for m in members])
+        self.segments = [
+            (int(offsets[i]), int(offsets[i + 1]))
+            for i in range(len(members))
+        ]
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    def positive_counts(self, labels: np.ndarray) -> np.ndarray:
+        """Per-region sum of a single label vector, all members at once.
+
+        Parameters
+        ----------
+        labels : ndarray of shape (n_points,)
+
+        Returns
+        -------
+        ndarray of float64, shape (sum of member region counts,)
+        """
+        return np.asarray(
+            self._matrix @ np.asarray(labels, dtype=np.float64)
+        )
+
+    def positive_counts_batch(self, worlds: np.ndarray) -> np.ndarray:
+        """Per-region sums for a batch of worlds, all members at once.
+
+        Parameters
+        ----------
+        worlds : ndarray of shape (n_points, n_worlds)
+
+        Returns
+        -------
+        ndarray of float64, shape (sum of member region counts, n_worlds)
+        """
+        out = self._matrix @ np.asarray(worlds, dtype=np.float32)
+        return np.asarray(out, dtype=np.float64)
+
+    def split(self, stacked: np.ndarray) -> list:
+        """Slice a stacked per-region array back into member arrays.
+
+        Parameters
+        ----------
+        stacked : ndarray whose leading axis is stacked regions
+
+        Returns
+        -------
+        list of ndarray, one per member (views, not copies)
+        """
+        return [stacked[a:b] for a, b in self.segments]

@@ -1,0 +1,485 @@
+"""Batched multi-spec audit serving: many audits, one Monte Carlo pass.
+
+A production deployment rarely runs one audit at a time: every measure
+x family x region design of interest — plus power sweeps — is audited
+against the *same* dataset.  Simulating null worlds per audit would
+repeat the dominant cost once per request.  This module amortises it:
+
+* :class:`AuditService` accepts batches of
+  :class:`repro.spec.AuditSpec` requests (and concurrent
+  :meth:`~AuditService.submit` calls from any thread), groups them by
+  null model — equal :meth:`repro.engine.LLRKernel.cache_key`, world
+  budget and seed — and executes each group in a **single fused**
+  :class:`repro.engine.MonteCarloEngine` pass: worlds are simulated
+  once per group while every member spec's statistics are scored
+  against the stacked membership matrix
+  (:class:`repro.index.StackedMembership`);
+* a spec-hash keyed LRU cache (:meth:`AuditSpec.spec_hash
+  <repro.spec.AuditSpec.spec_hash>`) answers repeated seeded requests
+  without touching the engine at all, with explicit
+  :meth:`~AuditService.invalidate`;
+* :meth:`~AuditService.submit` / :meth:`~AuditService.gather` give an
+  async-style flow on top of :class:`repro.api.AuditSession`, and
+  ``python -m repro batch specs/*.json --data file.npz`` drives it
+  from the shell.
+
+Determinism: fusion reuses the engine's chunk layout and per-chunk
+random streams unchanged, so every fused report is **bit-identical**
+to running its spec alone through :meth:`AuditSession.run
+<repro.api.AuditSession.run>` at the same seed (asserted in
+``tests/test_serve.py``).  Submission order, thread interleaving and
+group stacking order cannot change any result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Sequence
+
+from .api import AuditReport, AuditSession, ResolvedSpec
+from .spec import AuditSpec
+
+__all__ = ["AuditService", "PendingAudit"]
+
+
+class PendingAudit:
+    """A submitted spec's ticket: redeem it for the
+    :class:`repro.api.AuditReport` once the batch has run.
+
+    Returned by :meth:`AuditService.submit`.  The ticket resolves when
+    any thread's :meth:`AuditService.gather` processes the queue;
+    calling :meth:`result` first simply drives a gather itself, so a
+    single-threaded ``submit ... submit ... result`` flow never
+    deadlocks.
+    """
+
+    def __init__(self, service: "AuditService", spec: AuditSpec):
+        self._service = service
+        self.spec = spec
+        self._event = threading.Event()
+        self._report: AuditReport | None = None
+        self._error: Exception | None = None
+
+    def done(self) -> bool:
+        """Whether the ticket has resolved (report or error)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> AuditReport:
+        """The spec's report, driving a :meth:`AuditService.gather`
+        if the batch has not run yet.
+
+        When no other thread is gathering, this call drains the queue
+        itself (so single-threaded ``submit ... result`` flows always
+        complete, whatever ``timeout``).  When another thread's gather
+        is in flight, it waits — at most ``timeout`` seconds — for
+        that gather to resolve the ticket, retrying the drain if the
+        in-flight batch predated this submission.
+
+        Parameters
+        ----------
+        timeout : float, optional
+            Seconds to wait on another thread's in-flight gather;
+            ``None`` waits indefinitely.
+
+        Returns
+        -------
+        AuditReport
+
+        Raises
+        ------
+        TimeoutError
+            When the ticket is still unresolved after ``timeout``.
+        Exception
+            Whatever the spec's execution raised (e.g. a
+            :class:`ValueError` for data the session lacks).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while not self._event.is_set():
+            lock = self._service._gather_lock
+            if lock.acquire(blocking=False):
+                try:
+                    self._service._drain()
+                finally:
+                    lock.release()
+                # The drain processed every pending ticket, ours
+                # included; loop re-checks and exits.
+                continue
+            remaining = (
+                None
+                if deadline is None
+                else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(
+                    f"audit of {self.spec.describe()!r} still pending "
+                    f"after {timeout}s"
+                )
+            # Wait briefly on the in-flight gather, then retry: its
+            # batch may have been snapshotted before this submission.
+            self._event.wait(
+                0.05 if remaining is None else min(0.05, remaining)
+            )
+        if self._error is not None:
+            raise self._error
+        return self._report
+
+    def _resolve(
+        self,
+        report: AuditReport | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        self._report = report
+        self._error = error
+        self._event.set()
+
+
+class AuditService:
+    """Serve batches of audit specs over one dataset, fusing their
+    Monte Carlo passes.
+
+    The service wraps an :class:`repro.api.AuditSession` and adds the
+    batch layer: a thread-safe submission queue, null-model grouping,
+    fused execution (one world simulation per group, all member
+    statistics scored per world through stacked membership matrices),
+    and a spec-hash keyed LRU result cache.
+
+    Two equivalent flows::
+
+        service = AuditService(AuditSession(coords, y_pred))
+
+        # 1. synchronous batch
+        reports = service.run_batch(specs)
+
+        # 2. async-style: submit from any thread, gather once
+        tickets = [service.submit(s) for s in specs]
+        service.gather()
+        reports = [t.result() for t in tickets]
+
+    Fusion preserves bit-identity with solo runs: grouping only shares
+    *world simulation* between specs whose null model is provably the
+    same (equal kernel cache key, ``n_worlds`` and ``seed``), and the
+    shared pass replays the exact chunk layout and random streams a
+    solo run uses.  Specs with different measures, families,
+    directions, world budgets or seeds land in separate groups; specs
+    differing only in region design, ``alpha`` or ``correction`` fuse.
+
+    Parameters
+    ----------
+    session : AuditSession
+        The dataset binding every submitted spec runs against.
+    cache_size : int, default 128
+        Reports retained in the LRU result cache.  Only seeded specs
+        are cached (an unseeded audit is deliberately non-reproducible,
+        so serving it from cache would be wrong).
+
+    Attributes
+    ----------
+    session : AuditSession
+        The wrapped session (shared caches live there and in its
+        engines).
+    """
+
+    def __init__(self, session: AuditSession, cache_size: int = 128):
+        if not isinstance(session, AuditSession):
+            raise ValueError(
+                "session: expected an AuditSession, got "
+                f"{type(session).__name__}"
+            )
+        self.session = session
+        self.cache_size = int(cache_size)
+        self._cache: "OrderedDict[str, AuditReport]" = OrderedDict()
+        self._pending: list = []
+        self._lock = threading.Lock()
+        self._gather_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._errors = 0
+        self._fused_groups = 0
+        self._fused_specs = 0
+        self._worlds_requested = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, spec: AuditSpec) -> PendingAudit:
+        """Queue one spec for the next fused batch (thread-safe).
+
+        Parameters
+        ----------
+        spec : AuditSpec
+
+        Returns
+        -------
+        PendingAudit
+            The ticket to redeem via :meth:`PendingAudit.result`.
+        """
+        self.session._check_spec(spec)
+        ticket = PendingAudit(self, spec)
+        with self._lock:
+            self._pending.append(ticket)
+            self._submitted += 1
+        return ticket
+
+    def gather(self) -> list:
+        """Execute every queued spec in fused groups and resolve their
+        tickets.
+
+        Safe to call from any thread; one gather runs at a time and a
+        concurrent caller blocks until the in-flight one finishes,
+        then drains whatever was submitted meanwhile.  Per-spec
+        failures resolve that spec's ticket with the error (re-raised
+        by :meth:`PendingAudit.result`) without aborting the rest of
+        the batch.
+
+        Returns
+        -------
+        list of AuditReport
+            Reports of the specs this call executed successfully, in
+            submission order (errored specs are skipped here and
+            surface on their tickets).
+        """
+        with self._gather_lock:
+            batch = self._drain()
+        return [t._report for t in batch if t._error is None]
+
+    def _drain(self) -> list:
+        """Snapshot and execute the pending queue; caller must hold
+        ``_gather_lock``.  Returns the drained tickets."""
+        with self._lock:
+            batch, self._pending = self._pending, []
+        if batch:
+            self._execute(batch)
+        return batch
+
+    def run_batch(self, specs: Sequence[AuditSpec]) -> list:
+        """Submit a sequence of specs and gather them in one call.
+
+        Parameters
+        ----------
+        specs : sequence of AuditSpec
+
+        Returns
+        -------
+        list of AuditReport
+            One report per spec, in order.
+
+        Raises
+        ------
+        Exception
+            The first submitted spec's error, if any spec failed.
+        """
+        tickets = [self.submit(spec) for spec in specs]
+        self.gather()
+        return [ticket.result() for ticket in tickets]
+
+    # -- planning ------------------------------------------------------
+
+    def plan(self, specs: Sequence[AuditSpec]) -> list:
+        """The fusion grouping of a batch, without running anything.
+
+        Parameters
+        ----------
+        specs : sequence of AuditSpec
+
+        Returns
+        -------
+        list of list of int
+            Indices into ``specs``, one inner list per fused group
+            (specs in the same group share one simulation pass).
+        """
+        groups: "OrderedDict[tuple, list]" = OrderedDict()
+        for i, spec in enumerate(specs):
+            resolved = self.session.resolve(spec)
+            groups.setdefault(self._group_key(resolved), []).append(i)
+        return list(groups.values())
+
+    @staticmethod
+    def _group_key(resolved: ResolvedSpec) -> tuple:
+        """Everything that must agree for two specs to share simulated
+        worlds: the measure (hence coordinates), the kernel's cache key
+        (family, null parameters, direction) and the world budget +
+        seed (hence chunk layout and random streams)."""
+        spec = resolved.spec
+        return (
+            spec.measure,
+            resolved.kernel.cache_key(),
+            spec.n_worlds,
+            spec.seed,
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def _execute(self, batch: list) -> None:
+        """Run one drained batch: cache lookups, deduplication,
+        resolution, fused group passes, ticket resolution.  Called
+        under ``_gather_lock``."""
+        # Tickets sharing a spec hash this batch compute once; the
+        # list is shared by reference, so late duplicates of a
+        # not-yet-finished representative join its resolution.
+        peers: dict = {}
+        groups: "OrderedDict[tuple, list]" = OrderedDict()
+        for ticket in batch:
+            spec = ticket.spec
+            key = None
+            if spec.seed is not None:
+                key = spec.spec_hash()
+                with self._lock:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._cache.move_to_end(key)
+                        self._cache_hits += 1
+                        self._completed += 1
+                        ticket._resolve(report=cached)
+                        continue
+                    self._cache_misses += 1
+                if key in peers:
+                    peers[key].append(ticket)
+                    continue
+                peers[key] = [ticket]
+            tickets = peers.get(key, [ticket])
+            try:
+                resolved = self.session.resolve(spec)
+            except Exception as exc:  # resolution is per-spec
+                peers.pop(key, None)
+                self._finish(tickets, key, error=exc)
+                continue
+            groups.setdefault(self._group_key(resolved), []).append(
+                (tickets, resolved)
+            )
+        for members in groups.values():
+            self._run_group(members)
+
+    def _run_group(self, members: list) -> None:
+        """One fused pass: simulate the group's worlds once, score all
+        member designs, assemble per-spec reports."""
+        resolutions = [r for _, r in members]
+        first = resolutions[0]
+        spec0 = first.spec
+        workers = max(
+            (
+                r.spec.workers
+                for r in resolutions
+                if r.spec.workers is not None
+            ),
+            default=self.session.workers,
+        )
+        try:
+            nulls = first.engine.null_distribution_multi(
+                [r.member for r in resolutions],
+                first.kernel,
+                spec0.n_worlds,
+                seed=spec0.seed,
+                workers=workers,
+            )
+        except Exception as exc:  # group-level failure fails members
+            for tickets, resolved in members:
+                key = (
+                    resolved.spec.spec_hash()
+                    if resolved.spec.seed is not None
+                    else None
+                )
+                self._finish(tickets, key, error=exc)
+            return
+        self._fused_groups += 1
+        for (tickets, resolved), null_max in zip(members, nulls):
+            spec = resolved.spec
+            key = spec.spec_hash() if spec.seed is not None else None
+            self._fused_specs += len(tickets)
+            self._worlds_requested += spec.n_worlds * len(tickets)
+            try:
+                report = self.session.run(spec, null_max=null_max)
+            except Exception as exc:
+                self._finish(tickets, key, error=exc)
+                continue
+            self._finish(tickets, key, report=report)
+
+    def _finish(
+        self,
+        tickets: list,
+        key: str | None,
+        report: AuditReport | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        """Resolve a representative's tickets, caching successful
+        seeded reports under their spec hash."""
+        with self._lock:
+            if report is not None and key is not None:
+                self._cache[key] = report
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+            if error is not None:
+                self._errors += len(tickets)
+            else:
+                self._completed += len(tickets)
+        for ticket in tickets:
+            ticket._resolve(report=report, error=error)
+
+    # -- cache control & observability ---------------------------------
+
+    def invalidate(self, spec: AuditSpec | None = None) -> int:
+        """Drop cached reports.
+
+        Parameters
+        ----------
+        spec : AuditSpec, optional
+            Evict this spec's cached report (matched by
+            :meth:`~repro.spec.AuditSpec.spec_hash`, so the worker
+            count is irrelevant).  ``None`` clears the whole cache.
+
+        Returns
+        -------
+        int
+            Number of reports evicted.
+        """
+        with self._lock:
+            if spec is None:
+                evicted = len(self._cache)
+                self._cache.clear()
+                return evicted
+            return (
+                1
+                if self._cache.pop(spec.spec_hash(), None) is not None
+                else 0
+            )
+
+    def pending(self) -> int:
+        """Specs submitted but not yet gathered."""
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> dict:
+        """Service counters, for dashboards and benchmark assertions.
+
+        Returns
+        -------
+        dict
+            ``submitted``, ``completed``, ``errors``, ``pending``,
+            ``fused_groups`` / ``fused_specs`` (groups executed and
+            specs they covered), ``worlds_requested`` (sum of executed
+            specs' budgets) vs ``worlds_simulated`` (worlds the
+            session's engines actually drew — the amortisation),
+            ``report_cache_hits`` / ``report_cache_misses`` /
+            ``report_cache_size``, and the session's
+            ``index_builds``.
+        """
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "errors": self._errors,
+                "pending": len(self._pending),
+                "fused_groups": self._fused_groups,
+                "fused_specs": self._fused_specs,
+                "worlds_requested": self._worlds_requested,
+                "worlds_simulated": self.session.worlds_simulated,
+                "report_cache_hits": self._cache_hits,
+                "report_cache_misses": self._cache_misses,
+                "report_cache_size": len(self._cache),
+                "index_builds": self.session.index_builds,
+            }

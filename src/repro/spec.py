@@ -20,6 +20,7 @@ fails where it is built — not deep inside the engine::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, fields
 
@@ -562,6 +563,24 @@ class AuditSpec:
         AuditSpec
         """
         return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the request (hex SHA-1).
+
+        Hashes the canonical serialized form **minus** ``workers``:
+        the worker count is an execution hint with bit-identical
+        results at any value, so two requests differing only in it are
+        the same audit.  Result caches
+        (:class:`repro.serve.AuditService`) key on this hash.
+
+        Returns
+        -------
+        str
+        """
+        payload = self.to_dict()
+        payload.pop("workers")
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """One-line human summary of the request."""

@@ -1,0 +1,166 @@
+"""Executable-documentation gate: the docs cannot rot.
+
+Three checks, all run by default (CI runs this file as-is)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+1. **Runnable blocks** — every fenced ```python block in README.md,
+   docs/ARCHITECTURE.md and docs/COOKBOOK.md is executed in a fresh
+   namespace from the repository root.  A block that raises fails the
+   gate, so every recipe and quickstart keeps working against the
+   current API.  A block whose first line is ``# doc: no-exec`` is
+   skipped (for illustrative fragments — use sparingly).
+2. **Intra-repo links** — every relative markdown link target in
+   those files (plus EXPERIMENTS.md) must exist on disk; external
+   ``http(s)``/``mailto`` links and pure ``#anchors`` are ignored.
+3. **Docstring coverage** — delegates to
+   :func:`tools.gen_api_docs.check`: 100% of the public API must be
+   documented.
+
+Select subsets with ``--no-exec`` / ``--no-links`` /
+``--no-docstrings``; pass explicit markdown paths to override the
+default file set for the first two checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tools"))
+
+#: Files whose fenced ``python`` blocks must execute.
+EXEC_DOCS = ["README.md", "docs/ARCHITECTURE.md", "docs/COOKBOOK.md"]
+
+#: Files whose intra-repo links must resolve (superset of EXEC_DOCS).
+LINK_DOCS = EXEC_DOCS + ["EXPERIMENTS.md", "docs/API.md"]
+
+#: First line opting a fenced block out of execution.
+NO_EXEC = "# doc: no-exec"
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+
+def fenced_python_blocks(text: str) -> list:
+    """``(start_line, code)`` for every fenced ```python block.
+
+    Parameters
+    ----------
+    text : str
+        Markdown source.
+
+    Returns
+    -------
+    list of (int, str)
+        1-based line of the opening fence and the block's code.
+    """
+    blocks = []
+    lines = text.splitlines()
+    in_block = False
+    lang = ""
+    start = 0
+    buf: list = []
+    for i, line in enumerate(lines, start=1):
+        fence = _FENCE.match(line.strip())
+        if fence and not in_block:
+            in_block, lang, start, buf = True, fence.group(1), i, []
+        elif line.strip() == "```" and in_block:
+            if lang == "python":
+                blocks.append((start, "\n".join(buf)))
+            in_block = False
+        elif in_block:
+            buf.append(line)
+    return blocks
+
+
+def run_blocks(paths: list) -> list:
+    """Execute every fenced python block; return failure messages."""
+    failures = []
+    for rel in paths:
+        path = ROOT / rel
+        for start, code in fenced_python_blocks(path.read_text()):
+            label = f"{rel}:{start}"
+            if code.splitlines() and (
+                code.splitlines()[0].strip() == NO_EXEC
+            ):
+                print(f"  skip {label} (marked {NO_EXEC!r})")
+                continue
+            t0 = time.perf_counter()
+            namespace = {"__name__": "__check_docs__"}
+            try:
+                exec(compile(code, label, "exec"), namespace)
+            except Exception as exc:
+                failures.append(f"{label}: {type(exc).__name__}: {exc}")
+                print(f"  FAIL {label}: {exc}")
+                continue
+            print(f"  ok   {label} ({time.perf_counter() - t0:.1f}s)")
+    return failures
+
+
+def check_links(paths: list) -> list:
+    """Validate intra-repo markdown links; return failure messages."""
+    failures = []
+    for rel in paths:
+        path = ROOT / rel
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            for target in _LINK.findall(line):
+                if target.startswith(
+                    ("http://", "https://", "mailto:", "#")
+                ):
+                    continue
+                resolved = (path.parent / target.split("#")[0]).resolve()
+                if not resolved.exists():
+                    failures.append(f"{rel}:{i}: broken link {target}")
+                    print(f"  FAIL {rel}:{i}: {target}")
+    return failures
+
+
+def main() -> None:
+    """CLI entry point; exits 1 on any documentation failure."""
+    parser = argparse.ArgumentParser(
+        description="Execute doc code blocks, validate intra-repo "
+        "links, gate docstring coverage."
+    )
+    parser.add_argument(
+        "docs", nargs="*",
+        help="markdown files to check (default: README + docs/)",
+    )
+    parser.add_argument("--no-exec", action="store_true",
+                        help="skip executing fenced python blocks")
+    parser.add_argument("--no-links", action="store_true",
+                        help="skip intra-repo link validation")
+    parser.add_argument("--no-docstrings", action="store_true",
+                        help="skip the docstring-coverage gate")
+    args = parser.parse_args()
+
+    failures: list = []
+    if not args.no_exec:
+        print("== executing fenced python blocks ==")
+        failures += run_blocks(args.docs or EXEC_DOCS)
+    if not args.no_links:
+        print("== validating intra-repo links ==")
+        link_failures = check_links(args.docs or LINK_DOCS)
+        if not link_failures:
+            print("  all links resolve")
+        failures += link_failures
+    if not args.no_docstrings:
+        print("== docstring coverage ==")
+        import gen_api_docs
+
+        if gen_api_docs.check() != 0:
+            failures.append("docstring coverage below 100%")
+
+    if failures:
+        print(f"\n{len(failures)} documentation failure(s)")
+        sys.exit(1)
+    print("\nall documentation checks passed")
+
+
+if __name__ == "__main__":
+    main()
