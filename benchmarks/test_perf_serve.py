@@ -64,6 +64,20 @@ def _usable_cores() -> int:
         return os.cpu_count() or 1
 
 
+def _merge_bench(out: Path, payload: dict) -> None:
+    """Update BENCH_serve.json in place: the file is shared with
+    ``test_perf_adaptive.py``, so each bench only overwrites its own
+    keys."""
+    merged = {}
+    if out.exists():
+        try:
+            merged = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged.update(payload)
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+
+
 def _fingerprint(report):
     result = report.result
     return (
@@ -129,7 +143,7 @@ def test_perf_serve(lar):
         "fused_identical_to_sequential": identical,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    _merge_bench(out, payload)
 
     print("\n=== Batch service perf (BENCH_serve.json) ===")
     for key in (

@@ -36,6 +36,7 @@ Module map: :mod:`repro.api` (sessions, reports, the builder),
 :mod:`repro.spec` (declarative audit requests), :mod:`repro.core`
 (family/measure registries, dispatch, legacy auditors, analyses),
 :mod:`repro.engine` (shared parallel Monte Carlo engine),
+:mod:`repro.budget` (world-budget policies, sequential stopping),
 :mod:`repro.geometry` (regions and partitionings), :mod:`repro.stats`
 (statistic kernels), :mod:`repro.index` (counting backends),
 :mod:`repro.baselines` (MeanVar, naive testing),
@@ -50,6 +51,7 @@ from .api import (
     ResolvedSpec,
     audit,
 )
+from .budget import BudgetPolicy, StopDecision
 from .baselines import (
     Contribution,
     MeanVarScore,
@@ -107,7 +109,7 @@ from .index import GridIndex, KDTree, RegionMembership, StackedMembership
 from .serve import AuditService, PendingAudit
 from .spec import AuditSpec, RegionSpec
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "AuditBuilder",
@@ -117,6 +119,7 @@ __all__ = [
     "AuditSession",
     "AuditSpec",
     "BernoulliKernel",
+    "BudgetPolicy",
     "CORRECTIONS",
     "Contribution",
     "FAMILIES",
@@ -149,6 +152,7 @@ __all__ = [
     "StackedMembership",
     "SpatialDataset",
     "SpatialFairnessAuditor",
+    "StopDecision",
     "audit",
     "circle_region_set",
     "equal_opportunity",

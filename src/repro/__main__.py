@@ -23,12 +23,14 @@ and the outcomes under ``outcomes`` (aliases ``y_pred``, ``labels`` or
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
 import numpy as np
 
 from .api import AuditSession
+from .budget import BUDGET_KINDS
 from .serve import AuditService
 from .spec import AuditSpec
 
@@ -113,6 +115,11 @@ def main(argv: list | None = None) -> int:
         "the labels present)",
     )
     run.add_argument(
+        "--budget", choices=BUDGET_KINDS, default=None,
+        help="override the spec's world-budget policy ('adaptive' "
+        "stops null simulation early once the verdict is decided)",
+    )
+    run.add_argument(
         "--indent", type=int, default=2, help="JSON indent (default 2)"
     )
 
@@ -142,6 +149,10 @@ def main(argv: list | None = None) -> int:
         help="class count for multinomial specs",
     )
     batch.add_argument(
+        "--budget", choices=BUDGET_KINDS, default=None,
+        help="override every spec's world-budget policy",
+    )
+    batch.add_argument(
         "--indent", type=int, default=2, help="JSON indent (default 2)"
     )
 
@@ -163,6 +174,8 @@ def main(argv: list | None = None) -> int:
         print(spec.to_json(indent=2))
         return 0
 
+    if args.budget is not None:
+        spec = dataclasses.replace(spec, budget=args.budget)
     try:
         session = _load_session(args.data, args.workers, args.n_classes)
         report = session.run(spec)
@@ -179,7 +192,10 @@ def _run_batch(args: argparse.Namespace) -> int:
     specs = []
     for path in args.specs:
         try:
-            specs.append(_load_spec(path))
+            spec = _load_spec(path)
+            if args.budget is not None:
+                spec = dataclasses.replace(spec, budget=args.budget)
+            specs.append(spec)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print(f"invalid spec {path}: {exc}", file=sys.stderr)
             return 2

@@ -145,10 +145,16 @@ class AuditReport:
             "spec": self.spec.to_dict(),
             "verdict": "fair" if result.is_fair else "unfair",
             "p_value": result.p_value,
+            "p_value_ci": list(result.p_value_ci),
             "alpha": result.alpha,
             "critical_value": result.critical_value,
             "n_regions": result.n_regions,
             "n_worlds": result.n_worlds,
+            "worlds_simulated": result.n_worlds,
+            "n_worlds_requested": (
+                result.n_worlds_requested or result.n_worlds
+            ),
+            "stopped_early": result.stopped_early,
             "total_n": result.total_n,
             "total_p": result.total_p,
             "direction": result.direction,
@@ -467,6 +473,7 @@ class AuditSession:
             correction=spec.correction,
             spec_field="spec.regions",
             null_max=null_max,
+            budget=spec.budget,
         )
         return AuditReport(spec=spec, result=result)
 
@@ -580,6 +587,12 @@ class AuditBuilder:
     def correction(self, correction: str) -> "AuditBuilder":
         """Set the per-region multiple-testing correction."""
         self._fields["correction"] = correction
+        return self
+
+    def budget(self, budget) -> "AuditBuilder":
+        """Set the world-budget policy (``'fixed'``/``'adaptive'`` or
+        a :class:`repro.budget.BudgetPolicy`)."""
+        self._fields["budget"] = budget
         return self
 
     def seed(self, seed: int) -> "AuditBuilder":

@@ -37,6 +37,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .budget import BudgetPolicy, clopper_pearson
 from .engine import (
     BernoulliKernel,
     LLRKernel,
@@ -215,7 +216,9 @@ class AuditResult:
     total_n, total_p : int
         Global observation and positive counts.
     n_worlds : int
-        Number of simulated null worlds.
+        Number of null worlds actually simulated (with an adaptive
+        budget this is the stopping time, at most
+        ``n_worlds_requested``).
     n_regions : int
         Number of scanned regions.
     direction : int
@@ -226,6 +229,16 @@ class AuditResult:
         control) or ``'fdr-bh'`` (Benjamini–Hochberg run on top of the
         adjusted p-values — a stricter, higher-precision flagged set;
         see :data:`CORRECTIONS`).
+    n_worlds_requested : int
+        The world budget the audit asked for (``0`` in legacy
+        constructions means "same as ``n_worlds``").
+    stopped_early : bool
+        Whether an adaptive budget settled the verdict before
+        spending the full budget (``n_worlds < n_worlds_requested``).
+    p_value_ci : tuple of float
+        95% Clopper–Pearson interval for the exceedance probability
+        the Monte Carlo p-value estimates
+        (:func:`repro.budget.clopper_pearson`).
     """
 
     findings: list
@@ -238,6 +251,9 @@ class AuditResult:
     n_regions: int
     direction: int = 0
     correction: str = "max-stat"
+    n_worlds_requested: int = 0
+    stopped_early: bool = False
+    p_value_ci: tuple = ()
     _significant: list = field(default=None, repr=False)
 
     @property
@@ -284,9 +300,15 @@ class AuditResult:
         dir_txt = {0: "two-sided", 1: "higher-inside", -1: "lower-inside"}[
             self.direction
         ]
+        worlds_txt = f"{self.n_worlds} null worlds"
+        if self.stopped_early:
+            worlds_txt = (
+                f"{self.n_worlds}/{self.n_worlds_requested} null "
+                "worlds (stopped early)"
+            )
         lines = [
             f"spatial fairness audit: {self.n_regions} regions, "
-            f"{self.n_worlds} null worlds, alpha={self.alpha:g} "
+            f"{worlds_txt}, alpha={self.alpha:g} "
             f"({dir_txt})",
             f"verdict: {verdict} (p-value {self.p_value:.4f})",
             f"critical value {self.critical_value:.2f}; "
@@ -483,8 +505,11 @@ def _assemble(
     alpha: float,
     direction: int,
     correction: str,
+    n_worlds_requested: int | None = None,
 ) -> AuditResult:
     n_worlds = len(null_max)
+    if n_worlds_requested is None:
+        n_worlds_requested = n_worlds
     llr = obs.llr
     sorted_null = np.sort(null_max)
     # Max-statistic adjusted p-value per region, and for the scan
@@ -537,6 +562,9 @@ def _assemble(
         n_regions=len(regions),
         direction=direction,
         correction=correction,
+        n_worlds_requested=int(n_worlds_requested),
+        stopped_early=n_worlds < n_worlds_requested,
+        p_value_ci=clopper_pearson(int(global_count), n_worlds),
     )
 
 
@@ -554,6 +582,7 @@ def run_scan(
     correction: str = "max-stat",
     spec_field: str = "regions",
     null_max: np.ndarray | None = None,
+    budget: BudgetPolicy | str | None = None,
 ) -> AuditResult:
     """The one spec-driven dispatch every audit runs through.
 
@@ -588,7 +617,18 @@ def run_scan(
         world pass for many specs through
         :meth:`repro.engine.MonteCarloEngine.null_distribution_multi`
         and hand each spec's slice in here; the engine is then not
-        consulted and no further worlds are simulated.
+        consulted and no further worlds are simulated.  With an
+        adaptive ``budget`` the array may be shorter than
+        ``n_worlds`` (the group's early stopping time for this
+        design).
+    budget : BudgetPolicy, str or None, default None
+        The world-budget policy (:class:`repro.budget.BudgetPolicy`).
+        ``None``/``'fixed'`` simulates exactly ``n_worlds`` worlds —
+        bit-identical to every release so far.  ``'adaptive'`` runs
+        progressive rounds and stops as soon as the sequential rule
+        settles the verdict; the result then reports the worlds
+        actually simulated in ``n_worlds``, the requested budget in
+        ``n_worlds_requested`` and ``stopped_early``.
 
     Returns
     -------
@@ -621,6 +661,7 @@ def run_scan(
             f"{CORRECTIONS}"
         )
     n_worlds = _check_n_worlds(n_worlds)
+    policy = BudgetPolicy.parse(budget)
     if len(regions) == 0:
         raise ValueError(
             f"{spec_field}: the candidate region set is empty — "
@@ -640,15 +681,34 @@ def run_scan(
             n_worlds,
             seed=seed,
             workers=workers,
+            budget=policy,
+            observed_max=(
+                float(obs.llr.max()) if len(obs.llr) else 0.0
+            ),
+            alpha=float(alpha),
         )
     else:
         null_max = np.asarray(null_max, dtype=np.float64).ravel()
-        if len(null_max) != n_worlds:
+        if policy.is_adaptive:
+            if not 1 <= len(null_max) <= n_worlds:
+                raise ValueError(
+                    f"null_max: expected 1..{n_worlds} simulated "
+                    f"maxima (adaptive budget), got {len(null_max)}"
+                )
+        elif len(null_max) != n_worlds:
             raise ValueError(
                 f"null_max: expected {n_worlds} simulated maxima "
                 f"(one per world), got {len(null_max)}"
             )
-    return _assemble(regions, obs, null_max, alpha, d, correction)
+    return _assemble(
+        regions,
+        obs,
+        null_max,
+        alpha,
+        d,
+        correction,
+        n_worlds_requested=n_worlds,
+    )
 
 
 class BernoulliFamily(ScanFamily):

@@ -43,6 +43,7 @@ from collections import OrderedDict
 import numpy as np
 from scipy.special import xlogy
 
+from .budget import BudgetPolicy, round_sizes, sequential_decision
 from .index import RegionMembership, StackedMembership
 from .stats import poisson_llr
 
@@ -54,6 +55,11 @@ __all__ = [
     "MultinomialKernel",
     "world_chunk_size",
 ]
+
+#: Tolerance matching :func:`repro.core._assemble`'s exceedance count,
+#: so adaptive stopping and the final p-value agree on what "reaches
+#: the observed maximum" means.
+_EXCEED_TOL = 1e-12
 
 #: Worlds simulated per chunk aim to keep the (points x worlds) batch
 #: near this many matrix entries (~200 MB of float64 intermediates).
@@ -562,6 +568,9 @@ class MonteCarloEngine:
         seed: int | None = None,
         workers: int | None = None,
         chunk_worlds: int | None = None,
+        budget: BudgetPolicy | str | None = None,
+        observed_max: float | None = None,
+        alpha: float = 0.05,
     ) -> np.ndarray:
         """The null max-statistic distribution of a scan design.
 
@@ -591,12 +600,42 @@ class MonteCarloEngine:
         chunk_worlds : int, optional
             Chunk size override (tests/benchmarks); the default is
             :func:`world_chunk_size` of the workload.
+        budget : BudgetPolicy, str or None, default None
+            ``None``/``'fixed'`` simulates exactly ``n_worlds`` worlds
+            (bit-identical to every release so far).  An adaptive
+            policy (:class:`repro.budget.BudgetPolicy`) runs the
+            progressive-round schedule and may return fewer maxima —
+            the caller reads the worlds actually simulated off the
+            result's length.  Adaptive runs are deterministic for a
+            given ``(seed, budget)`` at any worker count, but are
+            never answered from (or written to) the null cache.
+        observed_max : float, optional
+            The observed scan maximum the stopping rule tests
+            against; required when ``budget`` is adaptive.
+        alpha : float, default 0.05
+            The significance level the stopping rule settles the
+            verdict around (adaptive only).
 
         Returns
         -------
-        ndarray of float64, shape (n_worlds,)
+        ndarray of float64, shape (m,)
+            ``m == n_worlds`` for a fixed budget; ``m <= n_worlds``
+            when an adaptive budget stopped early.
         """
         n_worlds = int(n_worlds)
+        policy = BudgetPolicy.parse(budget)
+        if policy.is_adaptive:
+            return self._adaptive_pass(
+                [member],
+                kernel,
+                n_worlds,
+                seed,
+                workers,
+                chunk_worlds,
+                [observed_max],
+                [alpha],
+                policy,
+            )[0]
         key = None
         if seed is not None:
             key = (kernel.cache_key(), n_worlds, int(seed), chunk_worlds)
@@ -626,6 +665,9 @@ class MonteCarloEngine:
         seed: int | None = None,
         workers: int | None = None,
         chunk_worlds: int | None = None,
+        budget: BudgetPolicy | str | None = None,
+        observed_maxes: list | None = None,
+        alphas: list | None = None,
     ) -> list:
         """Null distributions of several region designs from **one**
         simulation pass — the engine's multi-statistic evaluation hook.
@@ -652,14 +694,52 @@ class MonteCarloEngine:
             parameters and direction — equal ``kernel.cache_key()``).
         n_worlds, seed, workers, chunk_worlds
             As in :meth:`null_distribution`.
+        budget : BudgetPolicy, str or None, default None
+            As in :meth:`null_distribution`.  With an adaptive policy
+            the fused group still simulates each progressive round
+            **once**, scores every still-undecided design against it,
+            and drops designs from the stacked scoring as their
+            verdicts settle — per-segment early stopping.  Designs may
+            therefore come back with different lengths.
+        observed_maxes : list of float, optional
+            One observed scan maximum per entry of ``members``;
+            required when ``budget`` is adaptive.
+        alphas : list of float, optional
+            Per-design significance levels for the stopping rule
+            (adaptive only); a single float is broadcast.
 
         Returns
         -------
-        list of ndarray of float64, shape (n_worlds,)
+        list of ndarray of float64, shape (m_i,)
             One null max-statistic distribution per entry of
-            ``members``, in order.
+            ``members``, in order; ``m_i == n_worlds`` for fixed
+            budgets, ``m_i <= n_worlds`` for adaptive ones.
         """
         n_worlds = int(n_worlds)
+        policy = BudgetPolicy.parse(budget)
+        if policy.is_adaptive:
+            if observed_maxes is None or len(observed_maxes) != len(
+                members
+            ):
+                raise ValueError(
+                    "observed_maxes: adaptive budgets need one "
+                    "observed scan maximum per design"
+                )
+            if alphas is None:
+                alphas = [0.05] * len(members)
+            elif isinstance(alphas, float):
+                alphas = [alphas] * len(members)
+            return self._adaptive_pass(
+                list(members),
+                kernel,
+                n_worlds,
+                seed,
+                workers,
+                chunk_worlds,
+                list(observed_maxes),
+                list(alphas),
+                policy,
+            )
         key = None
         if seed is not None:
             key = (kernel.cache_key(), n_worlds, int(seed), chunk_worlds)
@@ -713,14 +793,31 @@ class MonteCarloEngine:
     ) -> np.ndarray:
         """Bind, chunk, seed and run one simulation pass (serial or
         pooled); ``segments`` selects per-design reduction."""
-        kernel.bind(member)
         chunks = self.chunk_layout(
             kernel.chunk_points, n_worlds, chunk_worlds
         )
         seeds = np.random.SeedSequence(seed).spawn(len(chunks))
+        self.worlds_simulated += n_worlds
+        return self._run_chunks(
+            kernel, member, chunks, seeds, n_worlds, workers, segments
+        )
+
+    def _run_chunks(
+        self,
+        kernel: LLRKernel,
+        member,
+        chunks: list,
+        seeds: list,
+        n_worlds: int,
+        workers: int | None,
+        segments: list | None,
+    ) -> np.ndarray:
+        """Bind and execute one explicit (chunks, seeds) layout —
+        serially or on a fork pool — returning the per-world maxima
+        (per segment when ``segments`` is given)."""
+        kernel.bind(member)
         workers = self.workers if workers is None else workers
         n_procs = min(int(workers or 1), len(chunks))
-        self.worlds_simulated += n_worlds
         if n_procs >= 2 and hasattr(os, "fork"):
             return self._null_parallel(
                 kernel, chunks, seeds, n_worlds, n_procs, segments
@@ -728,6 +825,80 @@ class MonteCarloEngine:
         return self._null_serial(
             kernel, chunks, seeds, n_worlds, segments
         )
+
+    def _adaptive_pass(
+        self,
+        members: list,
+        kernel: LLRKernel,
+        n_worlds: int,
+        seed: int | None,
+        workers: int | None,
+        chunk_worlds: int | None,
+        observed_maxes: list,
+        alphas: list,
+        policy: BudgetPolicy,
+    ) -> list:
+        """Progressive rounds with per-design sequential stopping.
+
+        Each round simulates its worlds **once** (the world stream
+        depends only on ``(kernel, seed, policy, n_worlds)`` — never
+        on the stopping decisions or the worker count) and scores them
+        against the stacked membership matrix of the designs still
+        undecided.  After every round each active design's cumulative
+        exceedance count feeds
+        :func:`repro.budget.sequential_decision`; settled designs drop
+        out of the stacked scoring.  A design that stopped after ``m``
+        worlds gets back its first ``m`` maxima — the same values a
+        solo adaptive run (or a fused one with different companions)
+        would produce, bit for bit.
+        """
+        for i, obs_max in enumerate(observed_maxes):
+            if obs_max is None:
+                raise ValueError(
+                    "observed_max: adaptive budgets need the observed "
+                    "scan maximum to decide stopping"
+                )
+            observed_maxes[i] = float(obs_max)
+        sizes = round_sizes(policy, n_worlds)
+        round_seeds = np.random.SeedSequence(seed).spawn(len(sizes))
+        active = list(range(len(members)))
+        collected: list = [[] for _ in members]
+        exceed = [0] * len(members)
+        total = 0
+        for size, round_seed in zip(sizes, round_seeds):
+            stacked = StackedMembership([members[i] for i in active])
+            chunks = self.chunk_layout(
+                kernel.chunk_points, size, chunk_worlds
+            )
+            seeds = round_seed.spawn(len(chunks))
+            self.worlds_simulated += size
+            out = self._run_chunks(
+                kernel,
+                stacked,
+                chunks,
+                seeds,
+                size,
+                workers,
+                stacked.segments,
+            )
+            total += size
+            still = []
+            for row, idx in zip(out, active):
+                collected[idx].append(row)
+                exceed[idx] += int(
+                    (row >= observed_maxes[idx] - _EXCEED_TOL).sum()
+                )
+                if total >= n_worlds:
+                    continue
+                decision = sequential_decision(
+                    exceed[idx], total, alphas[idx], policy
+                )
+                if not decision.stop:
+                    still.append(idx)
+            active = still
+            if not active:
+                break
+        return [np.concatenate(parts) for parts in collected]
 
     @staticmethod
     def _null_serial(

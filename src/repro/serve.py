@@ -9,7 +9,8 @@ repeat the dominant cost once per request.  This module amortises it:
   :class:`repro.spec.AuditSpec` requests (and concurrent
   :meth:`~AuditService.submit` calls from any thread), groups them by
   null model — equal :meth:`repro.engine.LLRKernel.cache_key`, world
-  budget and seed — and executes each group in a **single fused**
+  budget, seed and :class:`~repro.budget.BudgetPolicy` — and executes
+  each group in a **single fused**
   :class:`repro.engine.MonteCarloEngine` pass: worlds are simulated
   once per group while every member spec's statistics are scored
   against the stacked membership matrix
@@ -39,6 +40,7 @@ from collections import OrderedDict
 from typing import Sequence
 
 from .api import AuditReport, AuditSession, ResolvedSpec
+from .core import FAMILIES, _parse_direction
 from .spec import AuditSpec
 
 __all__ = ["AuditService", "PendingAudit"]
@@ -302,14 +304,18 @@ class AuditService:
     def _group_key(resolved: ResolvedSpec) -> tuple:
         """Everything that must agree for two specs to share simulated
         worlds: the measure (hence coordinates), the kernel's cache key
-        (family, null parameters, direction) and the world budget +
-        seed (hence chunk layout and random streams)."""
+        (family, null parameters, direction), the world budget + seed
+        (hence chunk layout and random streams) and the budget policy
+        (an adaptive group's round schedule must match).  Alphas may
+        still differ within an adaptive group — the sequential stopping
+        rule is evaluated per member segment."""
         spec = resolved.spec
         return (
             spec.measure,
             resolved.kernel.cache_key(),
             spec.n_worlds,
             spec.seed,
+            spec.budget,
         )
 
     # -- execution -----------------------------------------------------
@@ -368,6 +374,24 @@ class AuditService:
             ),
             default=self.session.workers,
         )
+        adaptive: dict = {}
+        if spec0.budget.is_adaptive:
+            # Each segment stops on its own (observed max, alpha); the
+            # simulated world stream is unaffected, so fused adaptive
+            # reports stay bit-identical to solo adaptive runs.
+            observed_maxes = []
+            for r in resolutions:
+                obs = FAMILIES[r.spec.family].observed(
+                    r.bound, r.member, _parse_direction(r.spec.direction)
+                )
+                observed_maxes.append(
+                    float(obs.llr.max()) if len(obs.llr) else 0.0
+                )
+            adaptive = {
+                "budget": spec0.budget,
+                "observed_maxes": observed_maxes,
+                "alphas": [float(r.spec.alpha) for r in resolutions],
+            }
         try:
             nulls = first.engine.null_distribution_multi(
                 [r.member for r in resolutions],
@@ -375,6 +399,7 @@ class AuditService:
                 spec0.n_worlds,
                 seed=spec0.seed,
                 workers=workers,
+                **adaptive,
             )
         except Exception as exc:  # group-level failure fails members
             for tickets, resolved in members:

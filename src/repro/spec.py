@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
+from .budget import BudgetPolicy
 from .core import CORRECTIONS, FAMILIES, MEASURES
 from .core import _DIRECTIONS as _core_directions
 from .geometry import (
@@ -382,6 +383,13 @@ class AuditSpec:
     correction : str, default 'max-stat'
         Per-region correction; any :data:`repro.core.CORRECTIONS`
         entry.
+    budget : BudgetPolicy, str or dict, default 'fixed'
+        The Monte Carlo world-budget policy
+        (:class:`repro.budget.BudgetPolicy`).  ``'fixed'`` simulates
+        exactly ``n_worlds`` worlds (bit-identical to earlier
+        releases); ``'adaptive'`` runs progressive rounds and stops
+        early once the sequential rule settles the verdict.  A dict
+        form tunes the adaptive parameters.
     seed : int, optional
         Monte Carlo master seed; ``None`` runs unseeded (and uncached).
     workers : int, optional
@@ -390,9 +398,11 @@ class AuditSpec:
     Examples
     --------
     >>> spec = AuditSpec(regions=RegionSpec.grid(5, 5), n_worlds=49,
-    ...                  direction="red", seed=7)
+    ...                  direction="red", budget="adaptive", seed=7)
     >>> spec.direction
     'lower'
+    >>> spec.budget.kind
+    'adaptive'
     >>> AuditSpec.from_dict(spec.to_dict()) == spec
     True
     """
@@ -404,6 +414,7 @@ class AuditSpec:
     alpha: float = 0.05
     direction: str = "two-sided"
     correction: str = "max-stat"
+    budget: BudgetPolicy = BudgetPolicy()
     seed: int | None = None
     workers: int | None = None
 
@@ -471,6 +482,11 @@ class AuditSpec:
                 f"unknown correction {self.correction!r}; expected one "
                 f"of {CORRECTIONS}",
             )
+        # BudgetPolicy.parse raises ValueErrors that name the
+        # ``budget`` field, matching the _err convention here.
+        object.__setattr__(
+            self, "budget", BudgetPolicy.parse(self.budget)
+        )
         if self.seed is not None:
             object.__setattr__(self, "seed", int(self.seed))
         if self.workers is not None:
@@ -498,6 +514,7 @@ class AuditSpec:
             "alpha": self.alpha,
             "direction": self.direction,
             "correction": self.correction,
+            "budget": self.budget.to_dict(),
             "seed": self.seed,
             "workers": self.workers,
         }
@@ -584,9 +601,12 @@ class AuditSpec:
 
     def describe(self) -> str:
         """One-line human summary of the request."""
+        worlds = f"{self.n_worlds} worlds"
+        if self.budget.is_adaptive:
+            worlds = f"<= {self.n_worlds} worlds (adaptive)"
         return (
             f"{self.family}/{self.measure} over {self.regions.kind} "
             f"({self.regions.n_regions_hint} regions), "
-            f"{self.n_worlds} worlds, alpha={self.alpha:g}, "
+            f"{worlds}, alpha={self.alpha:g}, "
             f"{self.direction}, {self.correction}"
         )

@@ -3,6 +3,7 @@ lossless dict/JSON round-tripping, and region-design materialisation."""
 
 import pytest
 
+from repro.budget import BudgetPolicy
 from repro.geometry import paper_side_lengths
 from repro.spec import SPEC_VERSION, AuditSpec, RegionSpec
 
@@ -183,6 +184,69 @@ class TestAuditSpecValidation:
         assert spec.regions == RegionSpec.grid(3, 2)
 
 
+class TestAuditSpecBudget:
+    def test_default_is_fixed(self):
+        spec = AuditSpec(regions=RegionSpec.grid(5, 5))
+        assert spec.budget == BudgetPolicy()
+        assert not spec.budget.is_adaptive
+        assert spec.to_dict()["budget"] == "fixed"
+
+    def test_string_and_dict_coerced_to_policy(self):
+        spec = AuditSpec(regions=RegionSpec.grid(5, 5),
+                         budget="adaptive")
+        assert isinstance(spec.budget, BudgetPolicy)
+        assert spec.budget.is_adaptive
+        spec = AuditSpec(
+            regions=RegionSpec.grid(5, 5),
+            budget={"kind": "adaptive", "initial": 64,
+                    "min_exceedances": 3},
+        )
+        assert spec.budget.initial == 64
+        assert spec.budget.min_exceedances == 3
+
+    def test_unknown_policy_names_field_and_lists_valid(self):
+        with pytest.raises(ValueError,
+                           match="budget: unknown budget policy"):
+            AuditSpec(regions=RegionSpec.grid(5, 5), budget="turbo")
+        try:
+            AuditSpec(regions=RegionSpec.grid(5, 5), budget="turbo")
+        except ValueError as exc:
+            assert "fixed" in str(exc) and "adaptive" in str(exc)
+
+    def test_bad_parameters_name_their_field(self):
+        with pytest.raises(ValueError, match="budget.growth"):
+            AuditSpec(regions=RegionSpec.grid(5, 5),
+                      budget={"kind": "adaptive", "growth": 0.9})
+        with pytest.raises(ValueError, match="budget"):
+            AuditSpec(regions=RegionSpec.grid(5, 5),
+                      budget={"kind": "adaptive", "rounds": 4})
+
+    def test_budget_changes_spec_hash(self):
+        fixed = AuditSpec(regions=RegionSpec.grid(5, 5), seed=1)
+        adaptive = AuditSpec(regions=RegionSpec.grid(5, 5), seed=1,
+                             budget="adaptive")
+        assert fixed.spec_hash() != adaptive.spec_hash()
+
+    def test_adaptive_round_trip_is_lossless(self):
+        spec = AuditSpec(
+            regions=RegionSpec.grid(5, 5), seed=1,
+            budget={"kind": "adaptive", "initial": 32, "growth": 3.0,
+                    "min_exceedances": 7, "confidence": 0.95},
+        )
+        assert AuditSpec.from_dict(spec.to_dict()) == spec
+        assert AuditSpec.from_json(spec.to_json()) == spec
+
+    def test_legacy_payload_without_budget_still_parses(self):
+        data = AuditSpec(regions=RegionSpec.grid(5, 5)).to_dict()
+        del data["budget"]
+        assert AuditSpec.from_dict(data).budget == BudgetPolicy()
+
+    def test_describe_mentions_adaptive(self):
+        spec = AuditSpec(regions=RegionSpec.grid(5, 5),
+                         budget="adaptive")
+        assert "adaptive" in spec.describe()
+
+
 ALL_FAMILY_SPECS = [
     AuditSpec(regions=RegionSpec.grid(50, 25,
                                       bounds=(-125.0, 24.0, -66.0, 49.0)),
@@ -190,7 +254,8 @@ ALL_FAMILY_SPECS = [
               direction="green", seed=11, workers=2),
     AuditSpec(regions=RegionSpec.squares(100, centers_seed=4),
               family="poisson", measure="statistical_parity",
-              n_worlds=999, correction="fdr-bh", seed=0),
+              n_worlds=999, correction="fdr-bh", seed=0,
+              budget="adaptive"),
     AuditSpec(regions=RegionSpec.circles(10, radii=(0.1, 0.2, 0.4)),
               family="multinomial", n_worlds=49),
     AuditSpec(regions=RegionSpec.grid(10, 10), family="bernoulli",

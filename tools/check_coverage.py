@@ -7,7 +7,8 @@ Two modes:
   fail if any target file is below the threshold::
 
       python tools/check_coverage.py --json coverage.json --min 80 \\
-          src/repro/stats.py src/repro/index.py src/repro/engine.py
+          src/repro/stats.py src/repro/index.py src/repro/engine.py \\
+          src/repro/budget.py
 
 * **Trace mode** (local, stdlib only — this repo's container has no
   ``coverage`` package): run the unit suite under :mod:`trace`,
@@ -15,7 +16,8 @@ Two modes:
   their compiled code objects), and apply the same gate::
 
       python tools/check_coverage.py --trace --min 80 \\
-          src/repro/stats.py src/repro/index.py src/repro/engine.py
+          src/repro/stats.py src/repro/index.py src/repro/engine.py \\
+          src/repro/budget.py
 
 Trace mode undercounts slightly (lines run only inside forked pool
 workers are invisible to the parent's tracer), so treat it as a local

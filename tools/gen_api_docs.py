@@ -34,6 +34,7 @@ MODULES = [
     "repro.spec",
     "repro.core",
     "repro.engine",
+    "repro.budget",
     "repro.geometry",
     "repro.stats",
     "repro.index",
