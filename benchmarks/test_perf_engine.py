@@ -49,6 +49,21 @@ def _usable_cores() -> int:
         return os.cpu_count() or 1
 
 
+def _merge_bench(out: Path, payload: dict) -> None:
+    """Update BENCH_engine.json in place: the file also carries the
+    per-commit ``kernel_history`` rows appended by ``tools/bench.py``
+    (and the kernel-suite keys), so each writer only overwrites its
+    own keys."""
+    merged = {}
+    if out.exists():
+        try:
+            merged = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged.update(payload)
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+
+
 def _fingerprint(result):
     return (
         result.is_fair,
@@ -117,7 +132,7 @@ def test_perf_engine():
         "parallel_identical_to_serial": identical,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    _merge_bench(out, payload)
 
     print("\n=== Engine perf (BENCH_engine.json) ===")
     for key in (

@@ -38,7 +38,10 @@ Module map: :mod:`repro.api` (sessions, reports, the builder),
 :mod:`repro.engine` (shared parallel Monte Carlo engine),
 :mod:`repro.budget` (world-budget policies, sequential stopping),
 :mod:`repro.geometry` (regions and partitionings), :mod:`repro.stats`
-(statistic kernels), :mod:`repro.index` (counting backends),
+(statistic kernels), :mod:`repro.kernels` (backend-dispatched
+hot-path kernels: numpy or optional compiled numba, bit-identical),
+:mod:`repro.fingerprint` (dataset content fingerprints for cache
+keys), :mod:`repro.index` (counting backends),
 :mod:`repro.baselines` (MeanVar, naive testing),
 :mod:`repro.datasets` (paper-shaped generators), :mod:`repro.forest`
 (numpy random forest), :mod:`repro.viz` (SVG figures).
@@ -105,11 +108,20 @@ from .geometry import (
     scan_centers,
     square_region_set,
 )
+from .fingerprint import (
+    array_fingerprint,
+    dataset_fingerprint,
+)
 from .index import GridIndex, KDTree, RegionMembership, StackedMembership
+from .kernels import (
+    active_backend,
+    numba_available,
+    set_backend,
+)
 from .serve import AuditService, PendingAudit
 from .spec import AuditSpec, RegionSpec
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "AuditBuilder",
@@ -153,13 +165,17 @@ __all__ = [
     "SpatialDataset",
     "SpatialFairnessAuditor",
     "StopDecision",
+    "active_backend",
+    "array_fingerprint",
     "audit",
     "circle_region_set",
+    "dataset_fingerprint",
     "equal_opportunity",
     "gerrymander_score",
     "log_likelihood_ratio",
     "mean_variance",
     "naive_audit",
+    "numba_available",
     "paper_side_lengths",
     "partition_region_set",
     "predictive_equality",
@@ -170,6 +186,7 @@ __all__ = [
     "run_scan",
     "scan_centers",
     "select_non_overlapping",
+    "set_backend",
     "square_region_set",
     "top_contributors",
     "__version__",

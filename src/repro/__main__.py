@@ -31,6 +31,7 @@ import numpy as np
 
 from .api import AuditSession
 from .budget import BUDGET_KINDS
+from .kernels import BACKENDS, set_backend
 from .serve import AuditService
 from .spec import AuditSpec
 
@@ -120,6 +121,11 @@ def main(argv: list | None = None) -> int:
         "stops null simulation early once the verdict is decided)",
     )
     run.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="kernel backend (default: REPRO_BACKEND env or 'auto' = "
+        "numba if importable else numpy; results are bit-identical)",
+    )
+    run.add_argument(
         "--indent", type=int, default=2, help="JSON indent (default 2)"
     )
 
@@ -153,6 +159,10 @@ def main(argv: list | None = None) -> int:
         help="override every spec's world-budget policy",
     )
     batch.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="kernel backend (default: REPRO_BACKEND env or 'auto')",
+    )
+    batch.add_argument(
         "--indent", type=int, default=2, help="JSON indent (default 2)"
     )
 
@@ -162,6 +172,12 @@ def main(argv: list | None = None) -> int:
     validate.add_argument("spec", help="AuditSpec JSON file")
 
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        try:
+            set_backend(args.backend)
+        except ValueError as exc:
+            print(f"invalid backend: {exc}", file=sys.stderr)
+            return 2
     if args.command == "batch":
         return _run_batch(args)
     try:

@@ -1,0 +1,173 @@
+"""``@njit``-compiled mirrors of the hot-path kernels (optional).
+
+Importing this module requires :mod:`numba`; :mod:`repro.kernels`
+only imports it after a successful availability probe, so the package
+as a whole never depends on numba being installed.
+
+Bit-exactness discipline
+------------------------
+Every loop here replicates the corresponding numpy expression's
+*elementwise operation order* — the same left-associated addition
+chains, the same ``1e-300`` clamps, the same ``xlogy(0, y) == 0``
+convention, the same post-hoc masks — so for identical float64 inputs
+the compiled path returns identical float64 bits.  Do not "simplify"
+these loops algebraically: reassociating a sum or folding a clamp
+changes the rounding and breaks the backend-equivalence tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+__all__ = [
+    "bernoulli_llr_batch",
+    "csr_matmul_batch",
+    "multinomial_llr_term",
+    "multinomial_llr_term_dispatch",
+    "poisson_llr_batch",
+]
+
+
+@njit(cache=True, inline="always")
+def _xlogy(x: float, y: float) -> float:
+    """``x * log(y)`` with the scipy convention ``xlogy(0, y) == 0``."""
+    if x == 0.0:
+        return 0.0
+    return x * np.log(y)
+
+
+@njit(cache=True, parallel=True)
+def bernoulli_llr_batch(n, world_p, N, world_P, direction):
+    """Compiled mirror of ``kernels._bernoulli_numpy``.
+
+    Shapes: ``n (R,)``, ``world_p (R, W)``, ``world_P (W,)``; returns
+    ``(R, W)`` float64.
+    """
+    R, W = world_p.shape
+    out = np.empty((R, W), dtype=np.float64)
+    for r in prange(R):
+        nr = n[r]
+        n_out = N - nr
+        n_clamp = nr if nr > 1.0 else 1.0
+        no_clamp = n_out if n_out > 1.0 else 1.0
+        degenerate = (nr <= 0.0) or (nr >= N)
+        for w in range(W):
+            P = world_P[w]
+            p = world_p[r, w]
+            p_out = P - p
+            rho_in = p / n_clamp if nr > 0.0 else 0.0
+            rho_out = p_out / no_clamp if n_out > 0.0 else 0.0
+            rho = P / N
+            llr = _xlogy(p, max(rho_in, 1e-300))
+            llr = llr + _xlogy(nr - p, max(1.0 - rho_in, 1e-300))
+            llr = llr + _xlogy(p_out, max(rho_out, 1e-300))
+            llr = llr + _xlogy(n_out - p_out, max(1.0 - rho_out, 1e-300))
+            llr = llr - _xlogy(P, max(rho, 1e-300))
+            llr = llr - _xlogy(N - P, max(1.0 - rho, 1e-300))
+            if llr < 0.0:
+                llr = 0.0
+            if degenerate:
+                llr = 0.0
+            elif direction > 0 and not (rho_in > rho_out):
+                llr = 0.0
+            elif direction < 0 and not (rho_in < rho_out):
+                llr = 0.0
+            out[r, w] = llr
+    return out
+
+
+@njit(cache=True, parallel=True)
+def poisson_llr_batch(world_obs, exp_r, total_obs, direction):
+    """Compiled mirror of :func:`repro.stats.poisson_llr` on the
+    engine's batch layout (``world_obs (R, W)``, ``exp_r (R,)``)."""
+    R, W = world_obs.shape
+    out = np.empty((R, W), dtype=np.float64)
+    for r in prange(R):
+        e = exp_r[r]
+        e_out = total_obs - e
+        valid = (e > 0.0) and (e_out > 0.0)
+        e_clamp = e if e > 1e-300 else 1e-300
+        eo_clamp = e_out if e_out > 1e-300 else 1e-300
+        for w in range(W):
+            obs = world_obs[r, w]
+            obs_out = total_obs - obs
+            if valid:
+                llr = _xlogy(obs, obs / e_clamp)
+                llr = llr + _xlogy(obs_out, obs_out / eo_clamp)
+                if llr < 0.0:
+                    llr = 0.0
+            else:
+                llr = 0.0
+            if direction > 0 and not (obs > e):
+                llr = 0.0
+            elif direction < 0 and not (obs < e):
+                llr = 0.0
+            out[r, w] = llr
+    return out
+
+
+@njit(cache=True, parallel=True)
+def multinomial_llr_term(n, c, C, N):
+    """Compiled mirror of ``kernels._multinomial_term_numpy`` on the
+    engine layout: ``n (R,)``, ``c (R, W)``, ``C (W,)``."""
+    R, W = c.shape
+    out = np.empty((R, W), dtype=np.float64)
+    for r in prange(R):
+        nr = n[r]
+        n_out = N - nr
+        n_clamp = nr if nr > 1.0 else 1.0
+        no_clamp = n_out if n_out > 1.0 else 1.0
+        for w in range(W):
+            Cw = C[w]
+            cw = c[r, w]
+            rho = cw / n_clamp if nr > 0.0 else 0.0
+            q = (Cw - cw) / no_clamp if n_out > 0.0 else 0.0
+            g = Cw / N
+            term = _xlogy(cw, max(rho, 1e-300))
+            term = term + _xlogy(Cw - cw, max(q, 1e-300))
+            term = term - _xlogy(Cw, max(g, 1e-300))
+            out[r, w] = term
+    return out
+
+
+def multinomial_llr_term_dispatch(n, c, C, N):
+    """Route engine-shaped inputs to the compiled term; return None for
+    any other layout (the caller then falls back to numpy
+    broadcasting)."""
+    n = np.asarray(n, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    if c.ndim != 2:
+        return None
+    if n.ndim == 2 and n.shape == (c.shape[0], 1):
+        n = n[:, 0]
+    elif n.ndim != 1 or n.shape[0] != c.shape[0]:
+        return None
+    if C.ndim == 2 and C.shape == (1, c.shape[1]):
+        C = C[0]
+    elif C.ndim == 0:
+        C = np.full(c.shape[1], float(C))
+    elif C.ndim != 1 or C.shape[0] != c.shape[1]:
+        return None
+    return multinomial_llr_term(
+        np.ascontiguousarray(n),
+        np.ascontiguousarray(c),
+        np.ascontiguousarray(C),
+        float(N),
+    )
+
+
+@njit(cache=True, parallel=True)
+def csr_matmul_batch(indptr, indices, worlds, n_rows):
+    """Compiled mirror of the CSR membership recount ``M @ worlds``
+    for an all-ones matrix: per row, sum the member points' world
+    values in CSR storage order (scipy's accumulation order)."""
+    W = worlds.shape[1]
+    out = np.zeros((n_rows, W), dtype=np.float64)
+    for r in prange(n_rows):
+        for jj in range(indptr[r], indptr[r + 1]):
+            j = indices[jj]
+            for w in range(W):
+                out[r, w] = out[r, w] + worlds[j, w]
+    return out

@@ -46,6 +46,7 @@ from .core import (
     run_scan,
 )
 from .engine import LLRKernel, MonteCarloEngine
+from .fingerprint import dataset_fingerprint as _dataset_fingerprint
 from .geometry import RegionSet
 from .index import RegionMembership
 from .spec import AuditSpec, RegionSpec
@@ -281,10 +282,38 @@ class AuditSession:
         self._region_sets: dict = {}
 
     # -- cached intermediates -------------------------------------------
+    #
+    # Every internal cache key starts with the dataset fingerprint, so
+    # mutating the session's arrays in place simply misses the caches
+    # built over the old contents — stale intermediates cannot be
+    # served by construction.
+
+    def dataset_fingerprint(self) -> str:
+        """Content fingerprint of the session's dataset.
+
+        A BLAKE2b digest over every array that shapes audit results
+        (coords, outcomes, y_true, forecast) plus ``n_classes`` — see
+        :func:`repro.fingerprint.dataset_fingerprint`.  Recomputed
+        from the current array contents on every call, so it tracks
+        in-place mutation; :class:`repro.serve.AuditService` folds it
+        into report cache keys.
+
+        Returns
+        -------
+        str
+        """
+        return _dataset_fingerprint(
+            self.coords,
+            self.outcomes,
+            y_true=self.y_true,
+            forecast=self.forecast,
+            n_classes=self.n_classes,
+        )
 
     def _measured_data(self, measure: str):
         """(coords, outcomes) after applying a measure, cached."""
-        cached = self._measured.get(measure)
+        key = (self.dataset_fingerprint(), measure)
+        cached = self._measured.get(key)
         if cached is None:
             mdef = MEASURES[measure]
             if mdef.needs_y_true and self.y_true is None:
@@ -298,21 +327,22 @@ class AuditSession:
                     f"measure: {measure!r} leaves no observations to "
                     "audit on this dataset"
                 )
-            self._measured[measure] = cached
+            self._measured[key] = cached
         return cached
 
     def _engine(self, measure: str) -> MonteCarloEngine:
         """The engine over a measure's coordinate subset, cached."""
-        engine = self._engines.get(measure)
+        key = (self.dataset_fingerprint(), measure)
+        engine = self._engines.get(key)
         if engine is None:
             coords, _ = self._measured_data(measure)
             engine = MonteCarloEngine(coords)
-            self._engines[measure] = engine
+            self._engines[key] = engine
         return engine
 
     def _family_bound(self, family: str, measure: str) -> dict:
         """The family's validated bound state for a measure, cached."""
-        key = (family, measure)
+        key = (self.dataset_fingerprint(), family, measure)
         bound = self._bound.get(key)
         if bound is None:
             coords, outcomes = self._measured_data(measure)
@@ -329,7 +359,7 @@ class AuditSession:
         self, design: RegionSpec, measure: str = "statistical_parity"
     ) -> RegionSet:
         """The materialised candidate regions of a design, cached per
-        ``(design, measure)``.
+        ``(dataset fingerprint, design, measure)``.
 
         Grid designs without explicit ``bounds`` partition the full
         dataset's bounding box regardless of the measure (the region
@@ -349,7 +379,7 @@ class AuditSession:
         -------
         RegionSet
         """
-        key = (design, measure)
+        key = (self.dataset_fingerprint(), design, measure)
         regions = self._region_sets.get(key)
         if regions is None:
             self._measured_data(measure)  # validate the measure first

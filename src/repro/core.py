@@ -855,23 +855,12 @@ class MultinomialFamily(ScanFamily):
         totals : ndarray (K,)
             Global class counts.
         """
-        from scipy.special import xlogy
+        from .kernels import multinomial_llr_term
 
-        n_out = N - n
         llr = np.zeros(np.shape(n))
         for k in range(len(totals)):
-            c = class_counts[k]
-            C = totals[k]
-            g = C / N
-            with np.errstate(divide="ignore", invalid="ignore"):
-                rho = np.where(n > 0, c / np.maximum(n, 1.0), 0.0)
-                q = np.where(
-                    n_out > 0, (C - c) / np.maximum(n_out, 1.0), 0.0
-                )
-            llr = llr + (
-                xlogy(c, np.maximum(rho, 1e-300))
-                + xlogy(C - c, np.maximum(q, 1e-300))
-                - xlogy(C, g)
+            llr = llr + multinomial_llr_term(
+                n, class_counts[k], totals[k], N
             )
         llr = np.maximum(llr, 0.0)
         llr = np.where((n <= 0) | (n >= N), 0.0, llr)

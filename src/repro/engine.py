@@ -34,18 +34,17 @@ buffer, so no world batch is ever pickled or copied between processes.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import threading
 import weakref
 from collections import OrderedDict
 
 import numpy as np
-from scipy.special import xlogy
 
+from . import kernels
 from .budget import BudgetPolicy, round_sizes, sequential_decision
+from .fingerprint import array_fingerprint
 from .index import RegionMembership, StackedMembership
-from .stats import poisson_llr
 
 __all__ = [
     "MonteCarloEngine",
@@ -201,34 +200,11 @@ def _bernoulli_batch_llr(
 
     Each world has its own global positive total ``world_P[w]``; the
     statistic must be computed against that world's own rate, exactly
-    as for the observed data.
+    as for the observed data.  Evaluation dispatches through
+    :func:`repro.kernels.bernoulli_llr_batch` (numpy or compiled —
+    bit-identical either way).
     """
-    n = n[:, None]
-    P = world_P[None, :]
-    p = world_p
-    n_out = N - n
-    p_out = P - p
-    with np.errstate(divide="ignore", invalid="ignore"):
-        rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
-        rho_out = np.where(
-            n_out > 0, p_out / np.maximum(n_out, 1.0), 0.0
-        )
-        rho = P / N
-    llr = (
-        xlogy(p, np.maximum(rho_in, 1e-300))
-        + xlogy(n - p, np.maximum(1.0 - rho_in, 1e-300))
-        + xlogy(p_out, np.maximum(rho_out, 1e-300))
-        + xlogy(n_out - p_out, np.maximum(1.0 - rho_out, 1e-300))
-        - xlogy(P, np.maximum(rho, 1e-300))
-        - xlogy(N - P, np.maximum(1.0 - rho, 1e-300))
-    )
-    llr = np.maximum(llr, 0.0)
-    llr = np.where((n <= 0) | (n >= N), 0.0, llr)
-    if direction > 0:
-        llr = np.where(rho_in > rho_out, llr, 0.0)
-    elif direction < 0:
-        llr = np.where(rho_in < rho_out, llr, 0.0)
-    return llr
+    return kernels.bernoulli_llr_batch(n, world_p, N, world_P, direction)
 
 
 class BernoulliKernel(LLRKernel):
@@ -320,7 +296,7 @@ class PoissonKernel(LLRKernel):
         return len(self.expected)
 
     def cache_key(self) -> tuple:
-        digest = hashlib.sha1(self.expected.tobytes()).hexdigest()
+        digest = array_fingerprint(self.expected)
         return (self.family, self.total_obs_int, digest, self.direction)
 
     def simulate(self, rng: np.random.Generator, n_worlds: int) -> np.ndarray:
@@ -330,9 +306,9 @@ class PoissonKernel(LLRKernel):
 
     def score(self, worlds: np.ndarray) -> np.ndarray:
         world_obs = self.member.positive_counts_batch(worlds)
-        return poisson_llr(
+        return kernels.poisson_llr_batch(
             world_obs,
-            self._exp_r[:, None],
+            self._exp_r,
             self.total_obs,
             direction=self.direction,
         )
@@ -386,22 +362,12 @@ class MultinomialKernel(LLRKernel):
     def score(self, worlds: np.ndarray) -> np.ndarray:
         N = float(self.n_points)
         n = self._n[:, None]
-        n_out = N - n
         llr = np.zeros((len(self.member), worlds.shape[1]))
         for k in range(self.n_classes):
             ind = (worlds == k).astype(np.float32)
             c = self.member.positive_counts_batch(ind)
             C = ind.sum(axis=0, dtype=np.float64)[None, :]
-            with np.errstate(divide="ignore", invalid="ignore"):
-                rho = np.where(n > 0, c / np.maximum(n, 1.0), 0.0)
-                q = np.where(
-                    n_out > 0, (C - c) / np.maximum(n_out, 1.0), 0.0
-                )
-            llr = llr + (
-                xlogy(c, np.maximum(rho, 1e-300))
-                + xlogy(C - c, np.maximum(q, 1e-300))
-                - xlogy(C, np.maximum(C / N, 1e-300))
-            )
+            llr = llr + kernels.multinomial_llr_term(n, c, C, N)
         llr = np.maximum(llr, 0.0)
         llr = np.where((n <= 0) | (n >= N), 0.0, llr)
         return llr
@@ -852,13 +818,15 @@ class MonteCarloEngine:
         solo adaptive run (or a fused one with different companions)
         would produce, bit for bit.
         """
-        for i, obs_max in enumerate(observed_maxes):
+        for obs_max in observed_maxes:
             if obs_max is None:
                 raise ValueError(
                     "observed_max: adaptive budgets need the observed "
                     "scan maximum to decide stopping"
                 )
-            observed_maxes[i] = float(obs_max)
+        # Coerce into a fresh list: callers may pass their own list and
+        # must get it back unchanged.
+        observed_maxes = [float(x) for x in observed_maxes]
         sizes = round_sizes(policy, n_worlds)
         round_seeds = np.random.SeedSequence(seed).spawn(len(sizes))
         active = list(range(len(members)))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .geometry import Rect, RegionSet
 
 __all__ = ["KDTree", "GridIndex", "RegionMembership", "StackedMembership"]
@@ -298,9 +299,11 @@ class RegionMembership:
         indices = (
             np.concatenate(chunks) if chunks else np.empty(0, np.int64)
         )
+        # float64 membership data: the recount accumulates world sums
+        # exactly up to 2**53 (float32 lost exactness past 2**24).
         self._matrix = sparse.csr_matrix(
             (
-                np.ones(len(indices), dtype=np.float32),
+                np.ones(len(indices), dtype=np.float64),
                 indices,
                 indptr,
             ),
@@ -339,9 +342,15 @@ class RegionMembership:
         Returns
         -------
         ndarray of float64, shape (n_regions, n_worlds)
+
+        Notes
+        -----
+        The product runs in float64 end to end (via
+        :func:`repro.kernels.membership_counts_batch`), so 0/1 world
+        counts stay exact up to ``2**53``; the earlier float32 path
+        lost integer exactness once counts approached ``2**24``.
         """
-        out = self._matrix @ np.asarray(worlds, dtype=np.float32)
-        return np.asarray(out, dtype=np.float64)
+        return kernels.membership_counts_batch(self._matrix, worlds)
 
     def point_indices(self, region: int) -> np.ndarray:
         """Indices of the points inside region ``region``."""
@@ -434,9 +443,13 @@ class StackedMembership:
         Returns
         -------
         ndarray of float64, shape (sum of member region counts, n_worlds)
+
+        Notes
+        -----
+        Exact in float64 up to ``2**53``, as in
+        :meth:`RegionMembership.positive_counts_batch`.
         """
-        out = self._matrix @ np.asarray(worlds, dtype=np.float32)
-        return np.asarray(out, dtype=np.float64)
+        return kernels.membership_counts_batch(self._matrix, worlds)
 
     def split(self, stacked: np.ndarray) -> list:
         """Slice a stacked per-region array back into member arrays.

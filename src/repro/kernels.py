@@ -1,0 +1,384 @@
+"""Backend-dispatched numeric kernels for the Monte Carlo hot path.
+
+The scan's cost concentrates in four array kernels: the Bernoulli /
+Poisson / multinomial log-likelihood-ratio batches and the sparse
+membership recount (``M @ worlds``).  This module gives each a single
+entry point that dispatches to one of two implementations:
+
+``numpy``
+    The reference implementation — the exact expressions the engine
+    has always run, moved here verbatim.  Always available.
+``numba``
+    ``@njit``-compiled loops (:mod:`repro._numba_backend`) mirroring
+    the numpy operation order **scalar for scalar**, so results are
+    bit-identical.  Used only when :mod:`numba` imports cleanly; the
+    dependency is optional and never required.
+
+Selection
+---------
+The backend is resolved once per process from the ``REPRO_BACKEND``
+environment variable (``auto`` | ``numpy`` | ``numba``, default
+``auto`` = numba if importable else numpy) and can be overridden
+programmatically with :func:`set_backend` or from the CLI via
+``python -m repro run --backend ...``.  Requesting ``numba`` on a
+machine without it raises :class:`ValueError` rather than silently
+degrading.
+
+Bit-exactness contract
+----------------------
+Backends are interchangeable *by value*: for every kernel and every
+input, the numba path must return the same float64 bits as the numpy
+path.  The compiled loops therefore replicate numpy's elementwise
+operation order (left-associated additions, the same ``1e-300``
+clamps, the same ``xlogy(0, y) == 0`` convention) instead of
+algebraically equivalent rewrites.  The existing fused≡solo and
+serial≡parallel equivalence tests run unchanged under either backend.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from scipy.special import xlogy
+
+from .stats import poisson_llr
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "active_backend",
+    "bernoulli_llr_batch",
+    "membership_counts_batch",
+    "multinomial_llr_term",
+    "numba_available",
+    "poisson_llr_batch",
+    "resolve_backend",
+    "set_backend",
+]
+
+#: Environment variable read (once, lazily) to pick the backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Recognised backend requests.
+BACKENDS = ("auto", "numpy", "numba")
+
+#: Resolved backend name, or None until first use / after set_backend.
+_resolved: str | None = None
+
+#: Cached numba importability (None = not probed yet).
+_numba_ok: bool | None = None
+
+
+def numba_available() -> bool:
+    """Whether :mod:`numba` imports in this environment.
+
+    Probed once and cached; the import is attempted lazily so the
+    package works (and imports fast) on machines without numba.
+
+    Returns
+    -------
+    bool
+    """
+    global _numba_ok
+    if _numba_ok is None:
+        try:
+            import numba  # noqa: F401
+
+            _numba_ok = True
+        except Exception:
+            _numba_ok = False
+    return _numba_ok
+
+
+def resolve_backend(request: str | None = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    Parameters
+    ----------
+    request : str, optional
+        ``'auto'``, ``'numpy'`` or ``'numba'``; ``None`` reads
+        ``REPRO_BACKEND`` from the environment (default ``'auto'``).
+
+    Returns
+    -------
+    str
+        ``'numpy'`` or ``'numba'``.
+
+    Raises
+    ------
+    ValueError
+        On an unknown request, or an explicit ``'numba'`` request when
+        numba is not importable.
+    """
+    if request is None:
+        request = os.environ.get(BACKEND_ENV, "auto")
+    request = str(request).lower()
+    if request not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {request!r}"
+        )
+    if request == "auto":
+        return "numba" if numba_available() else "numpy"
+    if request == "numba" and not numba_available():
+        raise ValueError(
+            "backend 'numba' requested but numba is not importable; "
+            "install numba or use REPRO_BACKEND=numpy"
+        )
+    return request
+
+
+def active_backend() -> str:
+    """The backend kernels currently dispatch to.
+
+    Resolved on first call (from ``REPRO_BACKEND``) and cached for the
+    life of the process; :func:`set_backend` replaces it.
+
+    Returns
+    -------
+    str
+        ``'numpy'`` or ``'numba'``.
+    """
+    global _resolved
+    if _resolved is None:
+        _resolved = resolve_backend()
+    return _resolved
+
+
+def set_backend(request: str) -> str:
+    """Select the kernel backend for this process.
+
+    Parameters
+    ----------
+    request : str
+        ``'auto'``, ``'numpy'`` or ``'numba'``.
+
+    Returns
+    -------
+    str
+        The concrete backend now active.
+
+    Raises
+    ------
+    ValueError
+        As in :func:`resolve_backend`.
+    """
+    global _resolved
+    _resolved = resolve_backend(request)
+    return _resolved
+
+
+def _use_numba() -> bool:
+    return active_backend() == "numba"
+
+
+# ---------------------------------------------------------------------------
+# Reference (numpy) implementations — the expressions the engine has
+# always evaluated, moved here verbatim.  The numba mirrors in
+# repro._numba_backend replicate their operation order scalar for
+# scalar; any change here must be made in both places.
+# ---------------------------------------------------------------------------
+
+
+def _bernoulli_numpy(
+    n: np.ndarray,
+    world_p: np.ndarray,
+    N: float,
+    world_P: np.ndarray,
+    direction: int,
+) -> np.ndarray:
+    n = n[:, None]
+    P = world_P[None, :]
+    p = world_p
+    n_out = N - n
+    p_out = P - p
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho_in = np.where(n > 0, p / np.maximum(n, 1.0), 0.0)
+        rho_out = np.where(
+            n_out > 0, p_out / np.maximum(n_out, 1.0), 0.0
+        )
+        rho = P / N
+    llr = (
+        xlogy(p, np.maximum(rho_in, 1e-300))
+        + xlogy(n - p, np.maximum(1.0 - rho_in, 1e-300))
+        + xlogy(p_out, np.maximum(rho_out, 1e-300))
+        + xlogy(n_out - p_out, np.maximum(1.0 - rho_out, 1e-300))
+        - xlogy(P, np.maximum(rho, 1e-300))
+        - xlogy(N - P, np.maximum(1.0 - rho, 1e-300))
+    )
+    llr = np.maximum(llr, 0.0)
+    llr = np.where((n <= 0) | (n >= N), 0.0, llr)
+    if direction > 0:
+        llr = np.where(rho_in > rho_out, llr, 0.0)
+    elif direction < 0:
+        llr = np.where(rho_in < rho_out, llr, 0.0)
+    return llr
+
+
+def _multinomial_term_numpy(n, c, C, N: float):
+    n_out = N - n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho = np.where(n > 0, c / np.maximum(n, 1.0), 0.0)
+        q = np.where(
+            n_out > 0, (C - c) / np.maximum(n_out, 1.0), 0.0
+        )
+    return (
+        xlogy(c, np.maximum(rho, 1e-300))
+        + xlogy(C - c, np.maximum(q, 1e-300))
+        - xlogy(C, np.maximum(C / N, 1e-300))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dispatched kernels
+# ---------------------------------------------------------------------------
+
+
+def bernoulli_llr_batch(
+    n: np.ndarray,
+    world_p: np.ndarray,
+    N: float,
+    world_P: np.ndarray,
+    direction: int = 0,
+) -> np.ndarray:
+    """Bernoulli scan LLR for a batch of simulated worlds.
+
+    Each world has its own global positive total ``world_P[w]``; the
+    statistic is computed against that world's own rate, exactly as
+    for the observed data (Kulldorff's Bernoulli statistic).
+
+    Parameters
+    ----------
+    n : ndarray of shape (R,)
+        Per-region observation counts.
+    world_p : ndarray of shape (R, W)
+        Per-region positive counts of each simulated world.
+    N : float
+        Total observations.
+    world_P : ndarray of shape (W,)
+        Per-world global positive totals.
+    direction : {0, 1, -1}, default 0
+        Directional filter, as in :func:`repro.stats.bernoulli_llr`.
+
+    Returns
+    -------
+    ndarray of float64, shape (R, W)
+    """
+    n = np.ascontiguousarray(n, dtype=np.float64)
+    world_p = np.ascontiguousarray(world_p, dtype=np.float64)
+    world_P = np.ascontiguousarray(world_P, dtype=np.float64)
+    if _use_numba():
+        from . import _numba_backend
+
+        return _numba_backend.bernoulli_llr_batch(
+            n, world_p, float(N), world_P, int(direction)
+        )
+    return _bernoulli_numpy(n, world_p, float(N), world_P, direction)
+
+
+def poisson_llr_batch(
+    world_obs: np.ndarray,
+    exp_r: np.ndarray,
+    total_obs: float,
+    direction: int = 0,
+) -> np.ndarray:
+    """Poisson scan LLR for a batch of simulated worlds.
+
+    Parameters
+    ----------
+    world_obs : ndarray of shape (R, W)
+        Per-region observed counts of each simulated world.
+    exp_r : ndarray of shape (R,)
+        Per-region (scaled) expected counts, shared across worlds.
+    total_obs : float
+        Total observed events.
+    direction : {0, 1, -1}, default 0
+        1 keeps only excess regions, -1 only deficits.
+
+    Returns
+    -------
+    ndarray of float64, shape (R, W)
+    """
+    world_obs = np.ascontiguousarray(world_obs, dtype=np.float64)
+    exp_r = np.ascontiguousarray(exp_r, dtype=np.float64)
+    if _use_numba():
+        from . import _numba_backend
+
+        return _numba_backend.poisson_llr_batch(
+            world_obs, exp_r, float(total_obs), int(direction)
+        )
+    return poisson_llr(
+        world_obs, exp_r[:, None], total_obs, direction=direction
+    )
+
+
+def multinomial_llr_term(n, c, C, N: float) -> np.ndarray:
+    """One class's additive term of the multinomial scan LLR.
+
+    The multinomial statistic is a sum over classes ``k`` of
+    ``xlogy(c, rho) + xlogy(C - c, q) - xlogy(C, C / N)`` with the
+    in/out rates clamped at ``1e-300``; callers accumulate this term
+    across classes and apply the degeneracy mask afterwards.
+
+    Parameters
+    ----------
+    n : array_like
+        Region sizes — ``(R, 1)`` against a world batch, or any shape
+        broadcastable with ``c``.
+    c : array_like
+        This class's count inside each region (``(R, W)`` on the
+        engine path).
+    C : array_like or float
+        This class's global total — per world (``(1, W)``) or scalar.
+    N : float
+        Total observations.
+
+    Returns
+    -------
+    ndarray of float64, broadcast shape of the inputs
+    """
+    if _use_numba():
+        from . import _numba_backend
+
+        out = _numba_backend.multinomial_llr_term_dispatch(n, c, C, N)
+        if out is not None:
+            return out
+    return _multinomial_term_numpy(
+        np.asarray(n, dtype=np.float64),
+        np.asarray(c, dtype=np.float64),
+        np.asarray(C, dtype=np.float64),
+        float(N),
+    )
+
+
+def membership_counts_batch(matrix, worlds: np.ndarray) -> np.ndarray:
+    """Per-region sums of a world batch through a CSR membership matrix.
+
+    Computes ``matrix @ worlds`` in float64 throughout.  Accumulating
+    in float64 keeps 0/1 world counts exact up to 2**53 (the old
+    float32 product lost integer exactness past 2**24) and is
+    bit-identical below that on every existing workload, since partial
+    sums of small integers are exact in both precisions.
+
+    Parameters
+    ----------
+    matrix : scipy.sparse.csr_matrix
+        Region-by-point membership matrix (float64 data).
+    worlds : ndarray of shape (n_points, n_worlds)
+        One column per simulated world.
+
+    Returns
+    -------
+    ndarray of float64, shape (n_regions, n_worlds)
+    """
+    worlds = np.ascontiguousarray(worlds, dtype=np.float64)
+    if _use_numba():
+        from . import _numba_backend
+
+        return _numba_backend.csr_matmul_batch(
+            matrix.indptr,
+            matrix.indices,
+            worlds,
+            matrix.shape[0],
+        )
+    return np.asarray(matrix @ worlds, dtype=np.float64)

@@ -15,10 +15,14 @@ repeat the dominant cost once per request.  This module amortises it:
   once per group while every member spec's statistics are scored
   against the stacked membership matrix
   (:class:`repro.index.StackedMembership`);
-* a spec-hash keyed LRU cache (:meth:`AuditSpec.spec_hash
-  <repro.spec.AuditSpec.spec_hash>`) answers repeated seeded requests
-  without touching the engine at all, with explicit
-  :meth:`~AuditService.invalidate`;
+* an LRU result cache keyed on ``dataset fingerprint : spec hash``
+  (:func:`repro.fingerprint.dataset_fingerprint` +
+  :meth:`AuditSpec.spec_hash <repro.spec.AuditSpec.spec_hash>`)
+  answers repeated seeded requests without touching the engine at
+  all, with explicit :meth:`~AuditService.invalidate`.  Folding the
+  dataset's content fingerprint into the key makes stale answers
+  impossible by construction: swap (or mutate) the session's arrays
+  and the same spec simply misses;
 * :meth:`~AuditService.submit` / :meth:`~AuditService.gather` give an
   async-style flow on top of :class:`repro.api.AuditSession`, and
   ``python -m repro batch specs/*.json --data file.npz`` drives it
@@ -147,7 +151,8 @@ class AuditService:
     batch layer: a thread-safe submission queue, null-model grouping,
     fused execution (one world simulation per group, all member
     statistics scored per world through stacked membership matrices),
-    and a spec-hash keyed LRU result cache.
+    and an LRU result cache keyed on the session's dataset
+    fingerprint plus the spec hash.
 
     Two equivalent flows::
 
@@ -320,20 +325,31 @@ class AuditService:
 
     # -- execution -----------------------------------------------------
 
+    def _report_key(self, spec: AuditSpec) -> str | None:
+        """Result-cache key of a spec: ``dataset fingerprint : spec
+        hash``, or None for unseeded specs (never cached).  The
+        fingerprint is recomputed from the session's current array
+        contents, so a swapped or mutated dataset can never be
+        answered with a report computed over the old one."""
+        if spec.seed is None:
+            return None
+        return (
+            f"{self.session.dataset_fingerprint()}:{spec.spec_hash()}"
+        )
+
     def _execute(self, batch: list) -> None:
         """Run one drained batch: cache lookups, deduplication,
         resolution, fused group passes, ticket resolution.  Called
         under ``_gather_lock``."""
-        # Tickets sharing a spec hash this batch compute once; the
+        # Tickets sharing a cache key this batch compute once; the
         # list is shared by reference, so late duplicates of a
         # not-yet-finished representative join its resolution.
         peers: dict = {}
         groups: "OrderedDict[tuple, list]" = OrderedDict()
         for ticket in batch:
             spec = ticket.spec
-            key = None
-            if spec.seed is not None:
-                key = spec.spec_hash()
+            key = self._report_key(spec)
+            if key is not None:
                 with self._lock:
                     cached = self._cache.get(key)
                     if cached is not None:
@@ -366,14 +382,19 @@ class AuditService:
         resolutions = [r for _, r in members]
         first = resolutions[0]
         spec0 = first.spec
-        workers = max(
-            (
-                r.spec.workers
-                for r in resolutions
-                if r.spec.workers is not None
-            ),
-            default=self.session.workers,
-        )
+        # Each member's effective request is its explicit workers if
+        # set, else the session default; the fused pass runs at the
+        # max of those so no member is slowed below what it asked for.
+        # (Worker count is a pure performance knob — results are
+        # bit-identical at any value — so taking the max is safe.)
+        effective = [
+            r.spec.workers
+            if r.spec.workers is not None
+            else self.session.workers
+            for r in resolutions
+        ]
+        requested = [w for w in effective if w is not None]
+        workers = max(requested) if requested else None
         adaptive: dict = {}
         if spec0.budget.is_adaptive:
             # Each segment stops on its own (observed max, alpha); the
@@ -403,17 +424,14 @@ class AuditService:
             )
         except Exception as exc:  # group-level failure fails members
             for tickets, resolved in members:
-                key = (
-                    resolved.spec.spec_hash()
-                    if resolved.spec.seed is not None
-                    else None
+                self._finish(
+                    tickets, self._report_key(resolved.spec), error=exc
                 )
-                self._finish(tickets, key, error=exc)
             return
         self._fused_groups += 1
         for (tickets, resolved), null_max in zip(members, nulls):
             spec = resolved.spec
-            key = spec.spec_hash() if spec.seed is not None else None
+            key = self._report_key(spec)
             self._fused_specs += len(tickets)
             self._worlds_requested += spec.n_worlds * len(tickets)
             try:
@@ -453,25 +471,26 @@ class AuditService:
         Parameters
         ----------
         spec : AuditSpec, optional
-            Evict this spec's cached report (matched by
-            :meth:`~repro.spec.AuditSpec.spec_hash`, so the worker
-            count is irrelevant).  ``None`` clears the whole cache.
+            Evict this spec's cached report against the session's
+            *current* dataset (matched by the fingerprint-qualified
+            :meth:`~repro.spec.AuditSpec.spec_hash` key, so the
+            worker count is irrelevant).  ``None`` clears the whole
+            cache, entries for earlier dataset contents included.
 
         Returns
         -------
         int
             Number of reports evicted.
         """
+        key = None if spec is None else self._report_key(spec)
         with self._lock:
             if spec is None:
                 evicted = len(self._cache)
                 self._cache.clear()
                 return evicted
-            return (
-                1
-                if self._cache.pop(spec.spec_hash(), None) is not None
-                else 0
-            )
+            if key is None:
+                return 0
+            return 1 if self._cache.pop(key, None) is not None else 0
 
     def pending(self) -> int:
         """Specs submitted but not yet gathered."""

@@ -339,6 +339,23 @@ class TestEngineStopping:
         )
         assert np.array_equal(base, fixed)
 
+    def test_adaptive_pass_leaves_caller_lists_unchanged(
+        self, engine_setup
+    ):
+        # Regression: _adaptive_pass used to float-coerce
+        # observed_maxes *in place*, clobbering the caller's list.
+        # (The public entry points happened to pass fresh lists, so
+        # only direct callers saw it — hence the direct call here.)
+        engine, member, kernel = engine_setup
+        observed = [-np.inf]
+        alphas = [0.05]
+        engine._adaptive_pass(
+            [member], kernel, N_WORLDS, 5, None, None,
+            observed, alphas, small_policy(),
+        )
+        assert observed == [-np.inf]
+        assert alphas == [0.05]
+
 
 class TestCalibration:
     """Adaptive p-values stay (conservatively) uniform under the null."""

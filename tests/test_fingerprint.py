@@ -1,0 +1,216 @@
+"""Unit tests for :mod:`repro.fingerprint` and the stale-cache fix.
+
+Three layers:
+
+* **digest semantics** — equal bytes/dtype/shape collide on purpose,
+  any difference in value, precision, dimensions or presence
+  separates; combination is insertion-order independent but
+  name-aware;
+* **session fingerprints** — :meth:`AuditSession.dataset_fingerprint`
+  is recomputed from current array contents, so in-place mutation is
+  visible;
+* **stale-cache regression** — before the fix, a service (or session)
+  whose dataset was mutated in place kept answering from caches built
+  over the old bytes.  Every report after a mutation must be
+  bit-identical to a fresh session over the mutated data.
+
+Plus the spec-hash stability golden: the request hash must never
+drift, or every persisted cache key and report id breaks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AuditService,
+    AuditSession,
+    AuditSpec,
+    RegionSpec,
+)
+from repro.fingerprint import (
+    DIGEST_SIZE,
+    array_fingerprint,
+    combine_fingerprints,
+    dataset_fingerprint,
+)
+from tests.conftest import N_WORLDS
+
+#: The unit grid matching the ``unit_regions`` fixture's geometry.
+UNIT_GRID = RegionSpec.grid(5, 5, bounds=(0.0, 0.0, 1.0, 1.0))
+
+
+class TestArrayFingerprint:
+    def test_copies_collide(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert array_fingerprint(a) == array_fingerprint(a.copy())
+        assert len(array_fingerprint(a)) == 2 * DIGEST_SIZE
+
+    def test_value_change_separates(self):
+        a = np.arange(12.0)
+        b = a.copy()
+        b[7] += 1e-12
+        assert array_fingerprint(a) != array_fingerprint(b)
+
+    def test_dtype_separates(self):
+        a = np.arange(4.0)
+        assert array_fingerprint(a) != array_fingerprint(
+            a.astype(np.float32)
+        )
+
+    def test_shape_separates_equal_bytes(self):
+        a = np.arange(6.0)
+        assert array_fingerprint(a) != array_fingerprint(
+            a.reshape(2, 3)
+        )
+
+    def test_none_is_stable_and_distinct_from_empty(self):
+        assert array_fingerprint(None) == array_fingerprint(None)
+        assert array_fingerprint(None) != array_fingerprint(
+            np.empty(0)
+        )
+
+    def test_non_contiguous_matches_contiguous_copy(self):
+        a = np.arange(12.0).reshape(3, 4)
+        t = a.T
+        assert not t.flags["C_CONTIGUOUS"]
+        assert array_fingerprint(t) == array_fingerprint(
+            np.ascontiguousarray(t)
+        )
+
+    def test_lists_coerce_like_asarray(self):
+        assert array_fingerprint([1.0, 2.0]) == array_fingerprint(
+            np.asarray([1.0, 2.0])
+        )
+
+
+class TestCombineFingerprints:
+    def test_insertion_order_irrelevant(self):
+        assert combine_fingerprints(
+            {"a": "x", "b": "y"}
+        ) == combine_fingerprints({"b": "y", "a": "x"})
+
+    def test_values_cannot_swap_names(self):
+        assert combine_fingerprints(
+            {"a": "x", "b": "y"}
+        ) != combine_fingerprints({"a": "y", "b": "x"})
+
+    def test_name_matters(self):
+        assert combine_fingerprints({"a": "x"}) != combine_fingerprints(
+            {"b": "x"}
+        )
+
+
+class TestDatasetFingerprint:
+    def test_optional_arrays_and_n_classes_separate(self):
+        rng = np.random.default_rng(0)
+        coords = rng.random((50, 2))
+        outcomes = (rng.random(50) < 0.5).astype(np.int8)
+        base = dataset_fingerprint(coords, outcomes)
+        assert base == dataset_fingerprint(coords, outcomes.copy())
+        assert base != dataset_fingerprint(
+            coords, outcomes, y_true=outcomes
+        )
+        assert base != dataset_fingerprint(
+            coords, outcomes, n_classes=3
+        )
+
+    def test_session_method_matches_free_function(
+        self, unit_coords, biased_labels
+    ):
+        session = AuditSession(unit_coords, biased_labels)
+        assert session.dataset_fingerprint() == dataset_fingerprint(
+            session.coords,
+            session.outcomes,
+            y_true=session.y_true,
+            forecast=session.forecast,
+            n_classes=session.n_classes,
+        )
+
+    def test_session_tracks_in_place_mutation(
+        self, unit_coords, biased_labels
+    ):
+        session = AuditSession(unit_coords, biased_labels.copy())
+        before = session.dataset_fingerprint()
+        assert before == session.dataset_fingerprint()
+        session.outcomes[:] = 1 - session.outcomes
+        assert session.dataset_fingerprint() != before
+
+    def test_equal_data_sessions_share(self, unit_coords, biased_labels):
+        a = AuditSession(unit_coords, biased_labels)
+        b = AuditSession(unit_coords.copy(), biased_labels.copy())
+        assert a.dataset_fingerprint() == b.dataset_fingerprint()
+
+
+class TestStaleCacheRegression:
+    """A dataset mutated underneath a service/session must miss every
+    cache: the regression the fingerprints exist to prevent."""
+
+    SPEC = AuditSpec(regions=UNIT_GRID, n_worlds=N_WORLDS, seed=3)
+
+    def test_service_report_tracks_mutated_dataset(
+        self, unit_coords, biased_labels
+    ):
+        session = AuditSession(unit_coords, biased_labels.copy())
+        service = AuditService(session)
+        stale = service.run_batch([self.SPEC])[0]
+
+        session.outcomes[:] = 1 - session.outcomes
+        fresh_dict = (
+            AuditSession(unit_coords, session.outcomes.copy())
+            .run(self.SPEC)
+            .to_dict(full=True)
+        )
+        again = service.run_batch([self.SPEC])[0]
+        assert again is not stale
+        assert again.to_dict(full=True) == fresh_dict
+        assert service.stats()["report_cache_hits"] == 0
+
+    def test_session_run_tracks_mutated_dataset(
+        self, unit_coords, biased_labels
+    ):
+        session = AuditSession(unit_coords, biased_labels.copy())
+        stale = session.run(self.SPEC)
+
+        session.outcomes[:] = 1 - session.outcomes
+        again = session.run(self.SPEC)
+        fresh = AuditSession(
+            unit_coords, session.outcomes.copy()
+        ).run(self.SPEC)
+        assert again.to_dict(full=True) == fresh.to_dict(full=True)
+        assert again.to_dict(full=True) != stale.to_dict(full=True)
+
+    def test_unchanged_dataset_still_hits_cache(
+        self, unit_coords, biased_labels
+    ):
+        service = AuditService(
+            AuditSession(unit_coords, biased_labels)
+        )
+        first = service.run_batch([self.SPEC])[0]
+        again = service.run_batch([self.SPEC])[0]
+        assert again is first
+        assert service.stats()["report_cache_hits"] == 1
+
+    def test_invalidate_targets_current_dataset(
+        self, unit_coords, biased_labels
+    ):
+        session = AuditSession(unit_coords, biased_labels.copy())
+        service = AuditService(session)
+        service.run_batch([self.SPEC])
+        session.outcomes[:] = 1 - session.outcomes
+        # The cached entry belongs to the *old* dataset contents, so a
+        # targeted invalidate (keyed on the current fingerprint)
+        # cannot see it; clearing everything still can.
+        assert service.invalidate(self.SPEC) == 0
+        assert service.invalidate() == 1
+
+
+class TestSpecHashStability:
+    def test_golden_value(self):
+        spec = AuditSpec(
+            regions=UNIT_GRID, n_worlds=N_WORLDS, seed=11
+        )
+        # Pinned: cache keys and report ids persist across processes,
+        # so the request hash must never drift between releases.
+        assert spec.spec_hash() == (
+            "4334230dde1a8f4ebf7780ec5ac08fc63d3a80b8"
+        )

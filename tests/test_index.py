@@ -8,11 +8,18 @@ import numpy as np
 import pytest
 
 from repro.geometry import (
+    GridPartitioning,
     Rect,
     circle_region_set,
+    partition_region_set,
     square_region_set,
 )
-from repro.index import GridIndex, KDTree, RegionMembership
+from repro.index import (
+    GridIndex,
+    KDTree,
+    RegionMembership,
+    StackedMembership,
+)
 
 
 @pytest.fixture(scope="module")
@@ -145,3 +152,39 @@ class TestRegionMembership:
         member = RegionMembership(regions, points, kdtree=tree)
         want = [int(r.contains(points).sum()) for r in regions]
         assert list(member.counts) == want
+
+
+class TestLargeCountExactness:
+    """Batch recounts must stay exact past float32's 2**24 ceiling.
+
+    Regression: the batch path used to run the sparse matmul in
+    float32, whose integers stop being exact at 2**24 — a Poisson
+    world carrying counts near that scale silently lost increments
+    (``float32(2**24) + 1 == 2**24``).  float64 accumulation keeps
+    every count exact up to 2**53.
+    """
+
+    #: 3 points inside one all-covering region.
+    COORDS = np.array([[0.5, 0.5], [0.4, 0.4], [0.6, 0.6]])
+    #: One world whose first point carries a count of 2**24; the exact
+    #: region total 2**24 + 2 is not representable in float32.
+    WORLD = np.array(
+        [[2.0**24], [1.0], [1.0]], dtype=np.float32
+    )
+
+    def _member(self):
+        regions = partition_region_set(
+            GridPartitioning.regular(Rect(0, 0, 1, 1), 1, 1)
+        )
+        return RegionMembership(regions, self.COORDS)
+
+    def test_region_membership_exact_above_2_24(self):
+        out = self._member().positive_counts_batch(self.WORLD)
+        assert out.dtype == np.float64
+        assert out[0, 0] == 2.0**24 + 2.0
+
+    def test_stacked_membership_exact_above_2_24(self):
+        stacked = StackedMembership([self._member(), self._member()])
+        out = stacked.positive_counts_batch(self.WORLD)
+        assert out.dtype == np.float64
+        assert np.array_equal(out[:, 0], [2.0**24 + 2.0] * 2)

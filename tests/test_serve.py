@@ -472,3 +472,71 @@ class TestCLIBatch:
 def test_repro_exports_service():
     assert repro.AuditService is AuditService
     assert repro.PendingAudit.__module__ == "repro.serve"
+
+
+class TestFusedWorkerRule:
+    """The fused pass runs at the max of each member's *effective*
+    worker request (its explicit ``workers`` if set, else the session
+    default).  Regression: the old rule only looked at explicit spec
+    values, so ``[workers=1, workers=None]`` under a parallel session
+    throttled the None member below its session default."""
+
+    def _captured_workers(self, unit_coords, biased_labels,
+                          monkeypatch, session_workers, spec_workers):
+        from repro.engine import MonteCarloEngine
+
+        session = AuditSession(
+            unit_coords, biased_labels, workers=session_workers
+        )
+        service = AuditService(session)
+        captured = []
+        original = MonteCarloEngine.null_distribution_multi
+
+        def spy(self, *args, **kwargs):
+            captured.append(kwargs.get("workers"))
+            # Record the requested count but simulate serially: the
+            # worker count is a pure perf knob, results identical.
+            kwargs["workers"] = 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(
+            MonteCarloEngine, "null_distribution_multi", spy
+        )
+        # Distinct designs so the specs keep distinct hashes (no
+        # report-cache dedup) yet share one null model and fuse.
+        designs = [UNIT_GRID, RegionSpec.grid(8, 8)]
+        specs = [
+            AuditSpec(regions=design, n_worlds=N_WORLDS, seed=21,
+                      workers=w)
+            for design, w in zip(designs, spec_workers)
+        ]
+        service.run_batch(specs)
+        assert len(captured) == 1, "specs must fuse into one pass"
+        return captured[0]
+
+    def test_session_default_beats_smaller_explicit(
+        self, unit_coords, biased_labels, monkeypatch
+    ):
+        got = self._captured_workers(
+            unit_coords, biased_labels, monkeypatch,
+            session_workers=3, spec_workers=[1, None],
+        )
+        assert got == 3
+
+    def test_larger_explicit_beats_session_default(
+        self, unit_coords, biased_labels, monkeypatch
+    ):
+        got = self._captured_workers(
+            unit_coords, biased_labels, monkeypatch,
+            session_workers=3, spec_workers=[4, None],
+        )
+        assert got == 4
+
+    def test_all_defaulted_stays_default(
+        self, unit_coords, biased_labels, monkeypatch
+    ):
+        got = self._captured_workers(
+            unit_coords, biased_labels, monkeypatch,
+            session_workers=None, spec_workers=[None, None],
+        )
+        assert got is None

@@ -8,7 +8,8 @@ Two modes:
 
       python tools/check_coverage.py --json coverage.json --min 80 \\
           src/repro/stats.py src/repro/index.py src/repro/engine.py \\
-          src/repro/budget.py
+          src/repro/budget.py src/repro/kernels.py \\
+          src/repro/fingerprint.py
 
 * **Trace mode** (local, stdlib only — this repo's container has no
   ``coverage`` package): run the unit suite under :mod:`trace`,

@@ -37,6 +37,8 @@ MODULES = [
     "repro.budget",
     "repro.geometry",
     "repro.stats",
+    "repro.kernels",
+    "repro.fingerprint",
     "repro.index",
     "repro.baselines",
     "repro.datasets",
