@@ -121,7 +121,7 @@ from .kernels import (
 from .serve import AuditService, PendingAudit
 from .spec import AuditSpec, RegionSpec
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "AuditBuilder",

@@ -6,6 +6,8 @@ a dataset stored as a numpy ``.npz`` archive and prints
 
     python -m repro run spec.json --data data.npz
     python -m repro batch specs/*.json --data data.npz
+    python -m repro stream specs/*.json --data day0.npz \
+        --update day1.npz --update day2.npz --window 86400
     python -m repro validate spec.json
 
 ``batch`` serves every spec through one
@@ -14,10 +16,18 @@ fused into a single Monte Carlo pass, and the emitted payload carries
 the service counters (worlds requested vs simulated) alongside the
 per-spec reports.
 
+``stream`` runs a continuous audit: the specs are watched on the
+service, every ``--update`` archive is appended in order as one
+arrival batch (``--window`` then slides a time window over the
+``timestamps`` array), and only the specs whose measured data actually
+changed are re-run at each step
+(:meth:`repro.serve.AuditService.advance`).
+
 The ``.npz`` archive must hold ``coords`` (an ``(n, 2)`` float array)
 and the outcomes under ``outcomes`` (aliases ``y_pred``, ``labels`` or
 ``observed`` are accepted); optional arrays ``y_true`` and
-``forecast`` unlock the accuracy measures and the Poisson family.
+``forecast`` unlock the accuracy measures and the Poisson family, and
+``timestamps`` unlocks time-based eviction.
 """
 
 from __future__ import annotations
@@ -44,9 +54,8 @@ def _load_spec(path: str) -> AuditSpec:
         return AuditSpec.from_json(handle.read())
 
 
-def _load_session(
-    path: str, workers: int | None, n_classes: int | None
-) -> AuditSession:
+def _load_arrays(path: str) -> dict:
+    """Load one ``.npz`` archive into the session/append kwargs."""
     data = np.load(path)
     if not hasattr(data, "files"):
         raise SystemExit(
@@ -65,13 +74,31 @@ def _load_session(
             f"{path}: no outcomes array — expected one of "
             f"{OUTCOME_KEYS} (found: {sorted(data.files)})"
         )
+    return {
+        "coords": data["coords"],
+        "outcomes": outcomes,
+        "y_true": data["y_true"] if "y_true" in data.files else None,
+        "forecast": (
+            data["forecast"] if "forecast" in data.files else None
+        ),
+        "timestamps": (
+            data["timestamps"] if "timestamps" in data.files else None
+        ),
+    }
+
+
+def _load_session(
+    path: str, workers: int | None, n_classes: int | None
+) -> AuditSession:
+    arrays = _load_arrays(path)
     return AuditSession(
-        data["coords"],
-        outcomes,
-        y_true=data["y_true"] if "y_true" in data.files else None,
-        forecast=data["forecast"] if "forecast" in data.files else None,
+        arrays["coords"],
+        arrays["outcomes"],
+        y_true=arrays["y_true"],
+        forecast=arrays["forecast"],
         n_classes=n_classes,
         workers=workers,
+        timestamps=arrays["timestamps"],
     )
 
 
@@ -166,6 +193,48 @@ def main(argv: list | None = None) -> int:
         "--indent", type=int, default=2, help="JSON indent (default 2)"
     )
 
+    stream = sub.add_parser(
+        "stream",
+        help="continuous audit: append update batches, slide a time "
+        "window, re-run only the specs whose data changed",
+    )
+    stream.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="AuditSpec JSON files to watch (e.g. specs/*.json)",
+    )
+    stream.add_argument(
+        "--data", required=True, metavar="NPZ",
+        help="initial .npz dataset (+ optional timestamps)",
+    )
+    stream.add_argument(
+        "--update", action="append", default=[], metavar="NPZ",
+        help="arrival batch to append, in order (repeatable)",
+    )
+    stream.add_argument(
+        "--window", type=float, default=None,
+        help="sliding time window applied after each update (needs "
+        "a 'timestamps' array)",
+    )
+    stream.add_argument(
+        "--full", action="store_true",
+        help="include every scanned region in each report",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=None,
+        help="session default worker count",
+    )
+    stream.add_argument(
+        "--n-classes", type=int, default=None,
+        help="class count for multinomial specs",
+    )
+    stream.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="kernel backend (default: REPRO_BACKEND env or 'auto')",
+    )
+    stream.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (default 2)"
+    )
+
     validate = sub.add_parser(
         "validate", help="parse a spec and print its canonical form"
     )
@@ -180,6 +249,8 @@ def main(argv: list | None = None) -> int:
             return 2
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "stream":
+        return _run_stream(args)
     try:
         spec = _load_spec(args.spec)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
@@ -227,6 +298,65 @@ def _run_batch(args: argparse.Namespace) -> int:
         "reports": [
             report.to_dict(full=args.full) for report in reports
         ],
+        "service": service.stats(),
+    }
+    print(json.dumps(payload, indent=args.indent))
+    return 0
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    """The ``stream`` subcommand: watch the specs, advance through the
+    update batches, print per-step reports + service counters."""
+    specs = []
+    for path in args.specs:
+        try:
+            specs.append(_load_spec(path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"invalid spec {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        session = _load_session(args.data, args.workers, args.n_classes)
+        service = AuditService(session)
+        service.watch(specs)
+        steps = []
+        # Step 0: the baseline audit of the initial dataset.
+        reports = service.advance(window=args.window)
+        steps.append(
+            {
+                "step": 0,
+                "update": None,
+                "n_points": len(session.coords),
+                "reports": [
+                    r.to_dict(full=args.full) for r in reports
+                ],
+            }
+        )
+        for i, path in enumerate(args.update, start=1):
+            arrays = _load_arrays(path)
+            reports = service.advance(
+                arrays["coords"],
+                arrays["outcomes"],
+                y_true=arrays["y_true"],
+                forecast=arrays["forecast"],
+                timestamps=arrays["timestamps"],
+                window=args.window,
+            )
+            steps.append(
+                {
+                    "step": i,
+                    "update": path,
+                    "n_points": len(session.coords),
+                    "reports": [
+                        r.to_dict(full=args.full) for r in reports
+                    ],
+                }
+            )
+    except (OSError, ValueError) as exc:
+        print(f"stream audit failed: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        "version": 1,
+        "steps": steps,
         "service": service.stats(),
     }
     print(json.dumps(payload, indent=args.indent))

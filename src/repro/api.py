@@ -46,8 +46,12 @@ from .core import (
     run_scan,
 )
 from .engine import LLRKernel, MonteCarloEngine
-from .fingerprint import dataset_fingerprint as _dataset_fingerprint
-from .geometry import RegionSet
+from .fingerprint import (
+    array_fingerprint as _array_fingerprint,
+    dataset_fingerprint as _dataset_fingerprint,
+    extend_fingerprint as _extend_fingerprint,
+)
+from .geometry import Rect, RegionSet
 from .index import RegionMembership
 from .spec import AuditSpec, RegionSpec
 
@@ -220,6 +224,17 @@ class AuditSession:
     same geometry performs zero membership rebuilds and, at the same
     seed and world budget, zero re-simulation.
 
+    Sessions also stream: :meth:`append` takes newly arrived points
+    and :meth:`evict` expires old ones (by mask, age, or sliding time
+    window), and both maintain the cached intermediates
+    *incrementally* — membership matrices gain or lose CSR columns in
+    place, and every updated structure is **bit-identical** to the one
+    a cold session over the final data would build.  Null
+    distributions survive a stream event exactly when the measure's
+    data slice did not change (the null model's totals are then
+    unchanged too); everything else re-simulates, so streamed reports
+    equal cold reports bit for bit.
+
     Parameters
     ----------
     coords : ndarray of shape (n, 2)
@@ -239,12 +254,20 @@ class AuditSession:
     workers : int, optional
         Default Monte Carlo worker count for specs that leave
         ``workers`` unset.
+    timestamps : ndarray of shape (n,), optional
+        Per-point event times (any monotone unit).  Required by the
+        time-based :meth:`evict` selectors (``older_than``/
+        ``window``); mask-based eviction works without them.
 
     Attributes
     ----------
     index_builds : int
         Total membership matrices built so far (across measures) —
         the cache-reuse observability counter.
+    incremental_builds : int
+        Total in-place membership updates applied by :meth:`append` /
+        :meth:`evict` — the streaming counterpart of
+        ``index_builds``.
     """
 
     def __init__(
@@ -255,6 +278,7 @@ class AuditSession:
         forecast: np.ndarray | None = None,
         n_classes: int | None = None,
         workers: int | None = None,
+        timestamps: np.ndarray | None = None,
     ):
         self.coords = np.asarray(coords, dtype=np.float64)
         if self.coords.ndim != 2 or self.coords.shape[1] != 2:
@@ -274,12 +298,32 @@ class AuditSession:
             if forecast is None
             else np.asarray(forecast, dtype=np.float64).ravel()
         )
+        self.timestamps = (
+            None
+            if timestamps is None
+            else np.asarray(timestamps, dtype=np.float64).ravel()
+        )
+        if self.timestamps is not None and len(self.timestamps) != len(
+            self.coords
+        ):
+            raise ValueError(
+                "timestamps: length does not match coords "
+                f"({len(self.timestamps)} vs {len(self.coords)})"
+            )
         self.n_classes = None if n_classes is None else int(n_classes)
         self.workers = workers
         self._engines: dict = {}
         self._measured: dict = {}
         self._bound: dict = {}
         self._region_sets: dict = {}
+        # Counters of engines retired by stream events, so the
+        # session-level totals never go backwards.
+        self._retired: dict = {
+            "index_builds": 0,
+            "incremental_builds": 0,
+            "worlds_simulated": 0,
+        }
+        self._stream_fp = self.dataset_fingerprint()
 
     # -- cached intermediates -------------------------------------------
     #
@@ -400,15 +444,407 @@ class AuditSession:
 
     @property
     def index_builds(self) -> int:
-        """Membership matrices built so far, across all engines."""
-        return sum(e.index_builds for e in self._engines.values())
+        """Membership matrices built so far, across all engines
+        (including engines since retired by stream events — the
+        counter never goes backwards)."""
+        return self._retired["index_builds"] + sum(
+            e.index_builds for e in self._engines.values()
+        )
+
+    @property
+    def incremental_builds(self) -> int:
+        """In-place membership updates applied by :meth:`append` /
+        :meth:`evict`, across all engines.  A sliding window that
+        re-audits without cold rebuilds moves this counter while
+        :attr:`index_builds` stays put."""
+        return self._retired["incremental_builds"] + sum(
+            e.incremental_builds for e in self._engines.values()
+        )
 
     @property
     def worlds_simulated(self) -> int:
         """Null worlds actually simulated so far, across all engines
         (cache answers and fused sharing excluded) — the denominator
         of every batching-amortisation claim."""
-        return sum(e.worlds_simulated for e in self._engines.values())
+        return self._retired["worlds_simulated"] + sum(
+            e.worlds_simulated for e in self._engines.values()
+        )
+
+    # -- streaming ------------------------------------------------------
+    #
+    # Append/evict mutate the session's arrays AND migrate the cached
+    # intermediates to the new dataset fingerprint — incrementally
+    # where a structure can be updated in place (membership matrices),
+    # by retirement where it cannot (a data-driven grid whose bounding
+    # box moved, a measure whose row mask is unknown).  Everything
+    # that survives is bit-identical to what a cold session over the
+    # final arrays would build, so streamed audits equal cold audits
+    # exactly.
+
+    def stream_fingerprint(self) -> str:
+        """Chained digest of the session's append/evict history.
+
+        Starts as the initial :meth:`dataset_fingerprint` and is
+        extended in O(delta) by every stream event
+        (:func:`repro.fingerprint.extend_fingerprint`), so it versions
+        the *event sequence* without re-hashing the whole history.
+        Unlike :meth:`dataset_fingerprint` it does not track external
+        in-place mutation of the session arrays — streams should
+        mutate through :meth:`append` / :meth:`evict` only.
+
+        Returns
+        -------
+        str
+        """
+        return self._stream_fp
+
+    def _check_delta(self, name, existing, delta, k, dtype=None):
+        """Validate one optional auxiliary array of an append batch."""
+        if existing is None:
+            if delta is not None:
+                raise ValueError(
+                    f"{name}: the session was constructed without "
+                    f"{name} — a stream cannot introduce it mid-flight"
+                )
+            return None
+        if delta is None:
+            raise ValueError(
+                f"{name}: the session carries {name}, so append() "
+                "must supply it for the new points"
+            )
+        arr = (
+            np.asarray(delta).ravel()
+            if dtype is None
+            else np.asarray(delta, dtype=dtype).ravel()
+        )
+        if len(arr) != k:
+            raise ValueError(
+                f"{name}: length does not match coords "
+                f"({len(arr)} vs {k})"
+            )
+        return arr
+
+    def _streamed_measures(self, fp: str) -> set:
+        """Measures with cached intermediates under a fingerprint."""
+        measures = {m for (f, m) in self._engines if f == fp}
+        measures |= {m for (f, _d, m) in self._region_sets if f == fp}
+        return measures
+
+    def _retire(self, engine: MonteCarloEngine) -> None:
+        """Fold a dropped engine's counters into the session totals."""
+        self._retired["index_builds"] += engine.index_builds
+        self._retired["incremental_builds"] += engine.incremental_builds
+        self._retired["worlds_simulated"] += engine.worlds_simulated
+
+    def _region_survives(
+        self, design, delta_changed, old_box, new_box
+    ) -> bool:
+        """Whether a materialised region set is still the one a cold
+        build over the new data would produce.
+
+        Grids with explicit bounds are data-independent; grids without
+        bounds depend only on the full dataset's bounding box (frozen
+        float equality — a box that moved at all retires the grid);
+        k-means designs (squares/circles) depend on the measured
+        coordinate subset and survive only when that subset did not
+        change.  ``delta_changed is None`` means the measure's row
+        mask is unknown, so nothing data-driven can be proven stable.
+        """
+        if design.kind == "grid" and design.bounds is not None:
+            return True
+        if design.kind == "grid":
+            return new_box is not None and new_box == old_box
+        return delta_changed is False
+
+    def _migrate(self, old_fp: str, changed: dict, update, old_box) -> None:
+        """Re-key cached intermediates after a stream event.
+
+        Parameters
+        ----------
+        old_fp : str
+            The dataset fingerprint before the event (arrays are
+            already mutated when this runs).
+        changed : dict of str -> bool or None
+            Per measure: did its measured slice change?  ``None`` =
+            unknown (retire everything data-driven for it).
+        update : callable
+            ``update(engine, measure)`` applies the event's in-place
+            membership update to one surviving-but-changed engine.
+        old_box : Rect or None
+            The full dataset's bounding box before the event.
+        """
+        new_box = (
+            Rect.bounding(self.coords) if len(self.coords) else None
+        )
+        # Region sets first: a design that dies must be forgotten by
+        # its engine *before* the engine's incremental update, so the
+        # engine never maintains a dead index.
+        surviving_regions = {}
+        for key, regions in list(self._region_sets.items()):
+            fp, design, measure = key
+            del self._region_sets[key]
+            if fp != old_fp:
+                continue
+            if self._region_survives(
+                design, changed.get(measure), old_box, new_box
+            ):
+                surviving_regions[(design, measure)] = regions
+            else:
+                engine = self._engines.get((old_fp, measure))
+                if engine is not None:
+                    engine.forget_regions(regions)
+        # Engines second: in-place update or retirement.
+        surviving_engines = {}
+        for key, engine in list(self._engines.items()):
+            fp, measure = key
+            del self._engines[key]
+            if fp != old_fp or changed.get(measure) is None:
+                self._retire(engine)
+                continue
+            if changed[measure]:
+                update(engine, measure)
+            surviving_engines[measure] = engine
+        # Measured slices and family bounds recompute in O(n) — not
+        # worth a migration path of their own.
+        self._measured.clear()
+        self._bound.clear()
+        new_fp = self.dataset_fingerprint()
+        for measure, engine in surviving_engines.items():
+            self._engines[(new_fp, measure)] = engine
+        for (design, measure), regions in surviving_regions.items():
+            self._region_sets[(new_fp, design, measure)] = regions
+
+    def append(
+        self,
+        coords: np.ndarray,
+        outcomes: np.ndarray,
+        y_true: np.ndarray | None = None,
+        forecast: np.ndarray | None = None,
+        timestamps: np.ndarray | None = None,
+    ) -> int:
+        """Stream a batch of newly arrived observations into the
+        session.
+
+        Cached membership matrices gain the new points' CSR columns in
+        place (:meth:`repro.engine.MonteCarloEngine.append_points`);
+        k-means region designs and measures whose data slice changed
+        drop their null caches (their geometry or null totals moved);
+        a measure whose slice is untouched by the batch — e.g.
+        ``equal_opportunity`` when every arrival has ``y_true == 0`` —
+        keeps its simulated nulls outright.  Subsequent reports are
+        bit-identical to a cold session over the concatenated arrays.
+
+        Parameters
+        ----------
+        coords : ndarray of shape (k, 2)
+            The new observation locations, in arrival order.
+        outcomes : ndarray of shape (k,)
+            Their audited outcomes.
+        y_true, forecast, timestamps : ndarray of shape (k,), optional
+            Auxiliary values for the new points.  Each is required
+            exactly when the session was constructed with it.
+
+        Returns
+        -------
+        int
+            The number of points appended.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError(
+                "coords: expected a (k, 2) array, got shape "
+                f"{coords.shape}"
+            )
+        k = len(coords)
+        outcomes = np.asarray(outcomes).ravel()
+        if len(outcomes) != k:
+            raise ValueError(
+                "outcomes: length does not match coords "
+                f"({len(outcomes)} vs {k})"
+            )
+        y_true = self._check_delta("y_true", self.y_true, y_true, k)
+        forecast = self._check_delta(
+            "forecast", self.forecast, forecast, k, dtype=np.float64
+        )
+        timestamps = self._check_delta(
+            "timestamps", self.timestamps, timestamps, k,
+            dtype=np.float64,
+        )
+        if k == 0:
+            return 0
+
+        old_fp = self.dataset_fingerprint()
+        old_box = (
+            Rect.bounding(self.coords) if len(self.coords) else None
+        )
+        # Which measures' slices does the batch touch, and with which
+        # measured coordinates?
+        changed: dict = {}
+        deltas: dict = {}
+        for measure in self._streamed_measures(old_fp):
+            mdef = MEASURES.get(measure)
+            if mdef is None or mdef.mask is None:
+                changed[measure] = None
+                continue
+            dmask = np.asarray(
+                mdef.mask(coords, outcomes, y_true), dtype=bool
+            )
+            deltas[measure] = coords[dmask]
+            changed[measure] = bool(dmask.any())
+
+        self.coords = np.concatenate([self.coords, coords])
+        self.outcomes = np.concatenate([self.outcomes, outcomes])
+        if self.y_true is not None:
+            self.y_true = np.concatenate([self.y_true, y_true])
+        if self.forecast is not None:
+            self.forecast = np.concatenate([self.forecast, forecast])
+        if self.timestamps is not None:
+            self.timestamps = np.concatenate(
+                [self.timestamps, timestamps]
+            )
+
+        self._migrate(
+            old_fp,
+            changed,
+            lambda engine, measure: engine.append_points(
+                deltas[measure]
+            ),
+            old_box,
+        )
+        self._stream_fp = _extend_fingerprint(
+            self._stream_fp,
+            {
+                "event": "append",
+                "coords": _array_fingerprint(coords),
+                "outcomes": _array_fingerprint(outcomes),
+                "y_true": _array_fingerprint(y_true),
+                "forecast": _array_fingerprint(forecast),
+                "timestamps": _array_fingerprint(timestamps),
+            },
+        )
+        return k
+
+    def evict(
+        self,
+        mask: np.ndarray | None = None,
+        *,
+        older_than: float | None = None,
+        window: float | None = None,
+    ) -> int:
+        """Expire observations from the session.
+
+        The mirror of :meth:`append`: cached membership matrices drop
+        the expired points' CSR columns in place, measures whose data
+        slice lost points re-simulate their nulls on next use, and
+        untouched measures keep theirs.  Subsequent reports are
+        bit-identical to a cold session over the surviving arrays.
+
+        Exactly one selector must be given.
+
+        Parameters
+        ----------
+        mask : bool ndarray of shape (n,), optional
+            ``True`` marks the points to evict.
+        older_than : float, optional
+            Evict points whose timestamp is strictly below this value
+            (needs the session constructed with ``timestamps=``).
+        window : float, optional
+            Sliding time window: keep only points whose timestamp is
+            within ``window`` of the newest timestamp (inclusive);
+            evict the rest.  Needs ``timestamps=``.
+
+        Returns
+        -------
+        int
+            The number of points evicted.
+        """
+        selectors = sum(
+            x is not None for x in (mask, older_than, window)
+        )
+        if selectors != 1:
+            raise ValueError(
+                "evict: pass exactly one of mask, older_than or window"
+            )
+        n = len(self.coords)
+        if mask is not None:
+            drop = np.asarray(mask)
+            if drop.dtype != np.bool_ or drop.shape != (n,):
+                raise ValueError(
+                    "mask: expected a boolean mask of length "
+                    f"{n}, got dtype {drop.dtype} and shape "
+                    f"{drop.shape}"
+                )
+            keep = ~drop
+        else:
+            if self.timestamps is None:
+                raise ValueError(
+                    "evict: older_than/window selectors need the "
+                    "session constructed with timestamps="
+                )
+            if older_than is not None:
+                keep = self.timestamps >= float(older_than)
+            else:
+                window = float(window)
+                if window < 0:
+                    raise ValueError(
+                        f"window: must be non-negative, got {window}"
+                    )
+                if n == 0:
+                    return 0
+                cutoff = float(self.timestamps.max()) - window
+                keep = self.timestamps >= cutoff
+        if keep.all():
+            return 0
+
+        old_fp = self.dataset_fingerprint()
+        old_box = (
+            Rect.bounding(self.coords) if len(self.coords) else None
+        )
+        changed: dict = {}
+        measured_keeps: dict = {}
+        for measure in self._streamed_measures(old_fp):
+            mdef = MEASURES.get(measure)
+            if mdef is None or mdef.mask is None:
+                changed[measure] = None
+                continue
+            mmask = np.asarray(
+                mdef.mask(self.coords, self.outcomes, self.y_true),
+                dtype=bool,
+            )
+            measured_keep = keep[mmask]
+            if measured_keep.all():
+                changed[measure] = False
+            elif measured_keep.any():
+                changed[measure] = True
+                measured_keeps[measure] = measured_keep
+            else:
+                # The measure's slice emptied out entirely; retire its
+                # caches so the cold path reports the canonical
+                # no-observations error on next use.
+                changed[measure] = None
+
+        self.coords = self.coords[keep]
+        self.outcomes = self.outcomes[keep]
+        if self.y_true is not None:
+            self.y_true = self.y_true[keep]
+        if self.forecast is not None:
+            self.forecast = self.forecast[keep]
+        if self.timestamps is not None:
+            self.timestamps = self.timestamps[keep]
+
+        self._migrate(
+            old_fp,
+            changed,
+            lambda engine, measure: engine.evict_points(
+                measured_keeps[measure]
+            ),
+            old_box,
+        )
+        self._stream_fp = _extend_fingerprint(
+            self._stream_fp,
+            {"event": "evict", "keep": _array_fingerprint(keep)},
+        )
+        return int(n - keep.sum())
 
     # -- running specs --------------------------------------------------
 
@@ -667,6 +1103,7 @@ def audit(
     forecast: np.ndarray | None = None,
     n_classes: int | None = None,
     workers: int | None = None,
+    timestamps: np.ndarray | None = None,
 ) -> AuditBuilder:
     """Start a fluent audit of point-located outcomes.
 
@@ -680,7 +1117,7 @@ def audit(
 
     Parameters
     ----------
-    coords, outcomes, y_true, forecast, n_classes, workers
+    coords, outcomes, y_true, forecast, n_classes, workers, timestamps
         As in :class:`AuditSession`.
 
     Returns
@@ -695,5 +1132,6 @@ def audit(
             forecast=forecast,
             n_classes=n_classes,
             workers=workers,
+            timestamps=timestamps,
         )
     )

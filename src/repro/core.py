@@ -471,12 +471,22 @@ class MeasureDef:
         registered family, including ones registered later.
     needs_y_true : bool
         Whether the session must carry ground-truth labels.
+    mask : callable or None
+        ``(coords, outcomes, y_true) -> bool ndarray of shape (n,)``
+        marking the rows ``extract`` keeps, in order.  Row-mask
+        measures commute with concatenation and subsetting, which lets
+        streaming sessions map dataset-level appends/evictions onto
+        each measure's slice (:meth:`repro.api.AuditSession.append`).
+        ``None`` means the measure gives no such guarantee; streaming
+        sessions then fall back to cold rebuilds for it — slower but
+        still bit-identical.
     """
 
     name: str
     extract: Callable
     families: tuple | None = None
     needs_y_true: bool = False
+    mask: Callable | None = None
 
 
 #: Registry of measures by name; see :func:`register_measure`.
@@ -913,12 +923,20 @@ def _extract_identity(coords, outcomes, y_true):
     return coords, outcomes
 
 
+def _mask_identity(coords, outcomes, y_true):
+    return np.ones(len(coords), dtype=bool)
+
+
 def _extract_equal_opportunity(coords, outcomes, y_true):
     mask = np.asarray(y_true) == 1
     return (
         coords[mask],
         (np.asarray(outcomes)[mask] == 1).astype(np.int8),
     )
+
+
+def _mask_equal_opportunity(coords, outcomes, y_true):
+    return np.asarray(y_true) == 1
 
 
 def _extract_predictive_equality(coords, outcomes, y_true):
@@ -929,13 +947,22 @@ def _extract_predictive_equality(coords, outcomes, y_true):
     )
 
 
-register_measure(MeasureDef("statistical_parity", _extract_identity))
+def _mask_predictive_equality(coords, outcomes, y_true):
+    return np.asarray(y_true) == 0
+
+
+register_measure(
+    MeasureDef(
+        "statistical_parity", _extract_identity, mask=_mask_identity
+    )
+)
 register_measure(
     MeasureDef(
         "equal_opportunity",
         _extract_equal_opportunity,
         families=("bernoulli",),
         needs_y_true=True,
+        mask=_mask_equal_opportunity,
     )
 )
 register_measure(
@@ -944,6 +971,7 @@ register_measure(
         _extract_predictive_equality,
         families=("bernoulli",),
         needs_y_true=True,
+        mask=_mask_predictive_equality,
     )
 )
 

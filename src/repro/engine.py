@@ -452,8 +452,18 @@ class MonteCarloEngine:
     cache_hits, cache_misses : int
         Null-distribution cache counters (diagnostics).
     index_builds : int
-        Membership matrices actually constructed (cache misses of
-        :meth:`membership`); lets callers assert index reuse.
+        Membership matrices actually constructed — cache misses of
+        :meth:`membership` plus every fused stacking of two or more
+        designs (:class:`repro.index.StackedMembership`); lets callers
+        assert index reuse.  A fused pass over a *single* design skips
+        the stacking and scores the member's own matrix, so it costs no
+        build.
+    incremental_builds : int
+        In-place membership updates applied by :meth:`append_points` /
+        :meth:`evict_points` — one per cached index per stream event.
+        The streaming counterpart of ``index_builds``: a sliding window
+        that re-audits without cold rebuilds shows this counter move
+        while ``index_builds`` stays put.
     worlds_simulated : int
         Total null worlds actually simulated (cache hits excluded).  A
         fused :meth:`null_distribution_multi` pass counts its world
@@ -479,6 +489,7 @@ class MonteCarloEngine:
         self.cache_hits = 0
         self.cache_misses = 0
         self.index_builds = 0
+        self.incremental_builds = 0
         self.worlds_simulated = 0
 
     def membership(self, regions) -> RegionMembership:
@@ -498,6 +509,94 @@ class MonteCarloEngine:
             self._member_cache[regions] = member
             self.index_builds += 1
         return member
+
+    def append_points(self, coords: np.ndarray) -> None:
+        """Stream new observation locations into the engine, in place.
+
+        Every cached membership index is extended incrementally
+        (:meth:`repro.index.RegionMembership.append_points`), so
+        subsequent audits see matrices **bit-identical** to cold builds
+        over the grown coordinate array without paying for the full
+        kd-tree pass.  The updated members' cached null distributions
+        are dropped — their counting operand changed — while other
+        members' caches survive untouched.
+
+        Parameters
+        ----------
+        coords : ndarray of shape (k, 2)
+            Coordinates of the appended points, in arrival order.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError(
+                "coords: expected an array of shape (k, 2), got shape "
+                f"{coords.shape}"
+            )
+        self.coords = np.concatenate([self.coords, coords])
+        for member in list(self._member_cache.values()):
+            member.append_points(coords)
+            self.incremental_builds += 1
+            self._null_cache.pop(member, None)
+
+    def evict_points(self, keep: np.ndarray) -> None:
+        """Expire observation locations from the engine, in place.
+
+        The mirror of :meth:`append_points`: cached membership indexes
+        drop the expired CSR columns incrementally and their null
+        caches are invalidated.
+
+        Parameters
+        ----------
+        keep : bool ndarray of shape (n_points,)
+            ``True`` for the points that stay, in the engine's current
+            point order.
+        """
+        keep = np.asarray(keep)
+        if keep.dtype != np.bool_ or keep.shape != (
+            len(self.coords),
+        ):
+            raise ValueError(
+                "keep: expected a boolean mask of length "
+                f"{len(self.coords)}, got dtype {keep.dtype} and "
+                f"shape {keep.shape}"
+            )
+        self.coords = self.coords[keep]
+        for member in list(self._member_cache.values()):
+            member.evict_points(keep)
+            self.incremental_builds += 1
+            self._null_cache.pop(member, None)
+
+    def forget_regions(self, regions) -> None:
+        """Drop a region set's cached membership index and nulls.
+
+        Streaming callers retire designs whose geometry is about to be
+        rebuilt (e.g. a data-driven grid whose bounding box grew) so
+        :meth:`append_points` does not waste work maintaining them.
+        Unknown region sets are ignored.
+
+        Parameters
+        ----------
+        regions : RegionSet
+        """
+        member = self._member_cache.pop(regions, None)
+        if member is not None:
+            self._null_cache.pop(member, None)
+
+    def _fused_member(self, members: list):
+        """The scoring operand of a fused pass: ``(member, segments)``.
+
+        A single design is scored through its own matrix with one
+        full-span segment — bit-identical to stacking it alone, minus
+        the copy.  Two or more designs get a fresh
+        :class:`repro.index.StackedMembership`, which constructs a new
+        matrix and therefore counts toward ``index_builds``.
+        """
+        if len(members) == 1:
+            member = members[0]
+            return member, [(0, len(member))]
+        stacked = StackedMembership(members)
+        self.index_builds += 1
+        return stacked, stacked.segments
 
     @staticmethod
     def chunk_layout(
@@ -726,15 +825,15 @@ class MonteCarloEngine:
                 self.cache_misses += 1
             misses.append(member)
         if misses:
-            stacked = StackedMembership(misses)
+            fused, segments = self._fused_member(misses)
             nulls = self._simulate_pass(
                 kernel,
-                stacked,
+                fused,
                 n_worlds,
                 seed,
                 workers,
                 chunk_worlds,
-                stacked.segments,
+                segments,
             )
             for member, null_max in zip(misses, nulls):
                 results[id(member)] = null_max
@@ -834,7 +933,9 @@ class MonteCarloEngine:
         exceed = [0] * len(members)
         total = 0
         for size, round_seed in zip(sizes, round_seeds):
-            stacked = StackedMembership([members[i] for i in active])
+            fused, segments = self._fused_member(
+                [members[i] for i in active]
+            )
             chunks = self.chunk_layout(
                 kernel.chunk_points, size, chunk_worlds
             )
@@ -842,12 +943,12 @@ class MonteCarloEngine:
             self.worlds_simulated += size
             out = self._run_chunks(
                 kernel,
-                stacked,
+                fused,
                 chunks,
                 seeds,
                 size,
                 workers,
-                stacked.segments,
+                segments,
             )
             total += size
             still = []

@@ -33,6 +33,7 @@ __all__ = [
     "array_fingerprint",
     "combine_fingerprints",
     "dataset_fingerprint",
+    "extend_fingerprint",
 ]
 
 #: BLAKE2b digest size in bytes (16 -> 32 hex characters), plenty for
@@ -139,3 +140,37 @@ def dataset_fingerprint(
             "n_classes": "none" if n_classes is None else str(int(n_classes)),
         }
     )
+
+
+def extend_fingerprint(prev: str, parts: dict) -> str:
+    """Chain a previous fingerprint with a delta's components.
+
+    The streaming counterpart of :func:`dataset_fingerprint`: instead
+    of re-hashing a whole (possibly large) history, a stream keeps one
+    running digest and folds each event's delta into it in O(delta).
+    The chained digest identifies the *event sequence* — the same
+    point set reached through different append/evict orders hashes
+    differently, which is exactly what a stream-state version wants
+    (each event invalidates downstream caches once).
+
+    Parameters
+    ----------
+    prev : str
+        The running digest before the event.
+    parts : dict of str -> str
+        The event's component digests by name (e.g. the appended
+        arrays' :func:`array_fingerprint`), hashed in sorted-name
+        order alongside the previous digest.
+
+    Returns
+    -------
+    str
+
+    Examples
+    --------
+    >>> a = extend_fingerprint("seed", {"coords": "x"})
+    >>> b = extend_fingerprint(a, {"coords": "y"})
+    >>> b == extend_fingerprint("seed", {"coords": "y"})
+    False
+    """
+    return combine_fingerprints({"prev": prev, **parts})

@@ -262,6 +262,14 @@ class RegionMembership:
     batch of worlds — the design that keeps the scan O(worlds) instead
     of O(worlds x regions x tree queries).
 
+    The matrix is stored in a **canonical layout**: within every
+    region row the member point indices are sorted ascending.  A cold
+    build and an incrementally maintained matrix
+    (:meth:`append_points` / :meth:`evict_points`) therefore hold
+    byte-identical CSR arrays, which is what lets the streaming audit
+    path prove itself bit-identical to a full rebuild (floating-point
+    accumulation order in ``M @ worlds`` follows storage order).
+
     Parameters
     ----------
     regions : RegionSet
@@ -294,7 +302,9 @@ class RegionMembership:
                 pts = coords[idx]
                 d2 = (pts[:, 0] - cx) ** 2 + (pts[:, 1] - cy) ** 2
                 idx = idx[d2 <= region.radius**2]
-            chunks.append(idx)
+            # Canonical layout: sorted column indices per row (see the
+            # class docstring — required for streamed bit-identity).
+            chunks.append(np.sort(idx))
             indptr[r + 1] = indptr[r] + len(idx)
         indices = (
             np.concatenate(chunks) if chunks else np.empty(0, np.int64)
@@ -315,6 +325,68 @@ class RegionMembership:
 
     def __len__(self) -> int:
         return len(self.regions)
+
+    def append_points(self, coords: np.ndarray) -> "RegionMembership":
+        """Append newly arrived points as CSR columns, in place.
+
+        Membership of the new points is computed against this index's
+        regions only (a small kd-tree over the delta), so the update
+        costs O(delta) queries instead of a full rebuild.  New points
+        take column indices past the existing ones and every row keeps
+        its indices sorted, so the updated matrix is **bit-identical**
+        to a cold build over the concatenated coordinate array.
+
+        Parameters
+        ----------
+        coords : ndarray of shape (k, 2)
+            Coordinates of the appended points, in arrival order.
+
+        Returns
+        -------
+        RegionMembership
+            The delta membership over just the new points —
+            :class:`StackedMembership` reuses it to extend stacked
+            matrices without recomputing the queries.
+        """
+        from scipy import sparse
+
+        delta = RegionMembership(self.regions, coords)
+        matrix = sparse.hstack(
+            [self._matrix, delta._matrix], format="csr"
+        )
+        # Both blocks are row-sorted and the delta's indices all sit
+        # past the old ones, so sorting restores the canonical layout.
+        matrix.sort_indices()
+        self._matrix = matrix
+        self.n_points += delta.n_points
+        self.counts = self.counts + delta.counts
+        return delta
+
+    def evict_points(self, keep: np.ndarray) -> None:
+        """Drop expired points' CSR columns, in place.
+
+        Surviving columns are renumbered in order, so the result is
+        **bit-identical** to a cold build over ``coords[keep]``.
+
+        Parameters
+        ----------
+        keep : bool ndarray of shape (n_points,)
+            ``True`` for the points that stay.
+        """
+        keep = np.asarray(keep)
+        if keep.dtype != np.bool_ or keep.shape != (self.n_points,):
+            raise ValueError(
+                "keep: expected a boolean mask of length "
+                f"{self.n_points}, got dtype {keep.dtype} and shape "
+                f"{keep.shape}"
+            )
+        matrix = self._matrix[:, keep].tocsr()
+        matrix.sort_indices()
+        self._matrix = matrix
+        self.n_points = int(keep.sum())
+        self.counts = np.asarray(
+            matrix.sum(axis=1)
+        ).ravel().astype(np.int64)
 
     def positive_counts(self, labels: np.ndarray) -> np.ndarray:
         """Per-region sum of a single label vector.
@@ -417,6 +489,59 @@ class StackedMembership:
 
     def __len__(self) -> int:
         return self._matrix.shape[0]
+
+    def append_points(self, coords: np.ndarray) -> None:
+        """Append newly arrived points to every member, in place.
+
+        Each distinct member (deduplicated by identity, so a shared
+        :class:`RegionMembership` is only updated once) appends the new
+        CSR columns via :meth:`RegionMembership.append_points`; the
+        stacked matrix is then re-stacked from the members' canonical
+        matrices, which is bit-identical to a cold
+        :class:`StackedMembership` build over the grown members and
+        costs only a sparse copy — the kd-tree queries are the
+        incremental part.
+
+        Parameters
+        ----------
+        coords : ndarray of shape (k, 2)
+            Coordinates of the appended points, in arrival order.
+        """
+        from scipy import sparse
+
+        seen: set = set()
+        for member in self.members:
+            if id(member) in seen:
+                continue
+            seen.add(id(member))
+            member.append_points(coords)
+        self.n_points = self.members[0].n_points
+        self._matrix = sparse.vstack(
+            [m._matrix for m in self.members], format="csr"
+        )
+        self.counts = np.concatenate([m.counts for m in self.members])
+
+    def evict_points(self, keep: np.ndarray) -> None:
+        """Drop expired points from every member, in place.
+
+        Parameters
+        ----------
+        keep : bool ndarray of shape (n_points,)
+            ``True`` for the points that stay.
+        """
+        from scipy import sparse
+
+        seen: set = set()
+        for member in self.members:
+            if id(member) in seen:
+                continue
+            seen.add(id(member))
+            member.evict_points(keep)
+        self.n_points = self.members[0].n_points
+        self._matrix = sparse.vstack(
+            [m._matrix for m in self.members], format="csr"
+        )
+        self.counts = np.concatenate([m.counts for m in self.members])
 
     def positive_counts(self, labels: np.ndarray) -> np.ndarray:
         """Per-region sum of a single label vector, all members at once.

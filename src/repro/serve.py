@@ -26,7 +26,16 @@ repeat the dominant cost once per request.  This module amortises it:
 * :meth:`~AuditService.submit` / :meth:`~AuditService.gather` give an
   async-style flow on top of :class:`repro.api.AuditSession`, and
   ``python -m repro batch specs/*.json --data file.npz`` drives it
-  from the shell.
+  from the shell;
+* :meth:`~AuditService.watch` / :meth:`~AuditService.advance` run a
+  **continuous audit** over streaming data: each ``advance`` appends
+  newly arrived points and/or slides the session's time window
+  (:meth:`AuditSession.append <repro.api.AuditSession.append>` /
+  :meth:`~repro.api.AuditSession.evict`), then re-runs only the
+  watched specs whose *measured data slice actually changed* — an
+  unchanged spec is answered from its last report, and a re-run spec
+  still reuses every surviving membership matrix and null
+  distribution.  ``python -m repro stream`` drives it from the shell.
 
 Determinism: fusion reuses the engine's chunk layout and per-chunk
 random streams unchanged, so every fused report is **bit-identical**
@@ -45,6 +54,8 @@ from typing import Sequence
 
 from .api import AuditReport, AuditSession, ResolvedSpec
 from .core import FAMILIES, _parse_direction
+from .fingerprint import array_fingerprint, combine_fingerprints
+from .geometry import Rect
 from .spec import AuditSpec
 
 __all__ = ["AuditService", "PendingAudit"]
@@ -210,6 +221,16 @@ class AuditService:
         self._worlds_requested = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        # Continuous-audit state: the watched specs, one cached
+        # (stream key, report) per seeded watched spec, and a lock
+        # serialising stream events (session mutation is not safe
+        # against concurrent gathers).
+        self._watched: list = []
+        self._stream_cache: dict = {}
+        self._stream_lock = threading.Lock()
+        self._advances = 0
+        self._stream_runs = 0
+        self._stream_skips = 0
 
     # -- submission ----------------------------------------------------
 
@@ -463,6 +484,210 @@ class AuditService:
         for ticket in tickets:
             ticket._resolve(report=report, error=error)
 
+    # -- continuous audits over streaming data -------------------------
+
+    def watch(self, specs: Sequence[AuditSpec] | AuditSpec) -> int:
+        """Register specs for continuous auditing.
+
+        Watched specs are re-evaluated by every :meth:`advance`; a
+        spec already watched (same
+        :meth:`~repro.spec.AuditSpec.spec_hash`) is not added twice.
+
+        Parameters
+        ----------
+        specs : AuditSpec or sequence of AuditSpec
+
+        Returns
+        -------
+        int
+            The number of specs now watched.
+        """
+        if isinstance(specs, AuditSpec):
+            specs = [specs]
+        with self._stream_lock:
+            known = {s.spec_hash() for s in self._watched}
+            for spec in specs:
+                self.session._check_spec(spec)
+                if spec.spec_hash() not in known:
+                    known.add(spec.spec_hash())
+                    self._watched.append(spec)
+            return len(self._watched)
+
+    def unwatch(self, spec: AuditSpec | None = None) -> int:
+        """Stop watching a spec (or, with ``None``, all of them).
+
+        Parameters
+        ----------
+        spec : AuditSpec, optional
+
+        Returns
+        -------
+        int
+            The number of specs removed.
+        """
+        with self._stream_lock:
+            if spec is None:
+                removed = len(self._watched)
+                self._watched.clear()
+                self._stream_cache.clear()
+                return removed
+            target = spec.spec_hash()
+            before = len(self._watched)
+            self._watched = [
+                s for s in self._watched if s.spec_hash() != target
+            ]
+            self._stream_cache.pop(target, None)
+            return before - len(self._watched)
+
+    def watched(self) -> list:
+        """The currently watched specs, in registration order."""
+        with self._stream_lock:
+            return list(self._watched)
+
+    def _stream_key(self, spec: AuditSpec) -> str | None:
+        """Digest of everything a spec's report depends on, under the
+        session's *current* data — the skip test of :meth:`advance`.
+
+        Covers the spec itself (hash), the measure's extracted slice
+        (coordinates and outcomes — hence observed statistics, null
+        totals, and k-means scan centres), and the data-dependent
+        extras: the full dataset's bounding box for grids without
+        explicit bounds, the forecast for Poisson specs, the class
+        count for multinomial ones.  Equal keys across an advance mean
+        a cold re-run would reproduce the previous report bit for bit.
+        Unseeded specs get ``None``: they are deliberately
+        non-reproducible and always re-run.
+        """
+        if spec.seed is None:
+            return None
+        coords, outcomes = self.session._measured_data(spec.measure)
+        parts = {
+            "spec": spec.spec_hash(),
+            "coords": array_fingerprint(coords),
+            "outcomes": array_fingerprint(outcomes),
+        }
+        design = spec.regions
+        if design.kind == "grid" and design.bounds is None:
+            box = Rect.bounding(self.session.coords)
+            parts["bbox"] = repr(
+                (box.min_x, box.min_y, box.max_x, box.max_y)
+            )
+        if spec.family == "poisson":
+            parts["forecast"] = array_fingerprint(
+                self.session.forecast
+            )
+        if spec.family == "multinomial":
+            parts["n_classes"] = (
+                "none"
+                if self.session.n_classes is None
+                else str(self.session.n_classes)
+            )
+        return combine_fingerprints(parts)
+
+    def advance(
+        self,
+        coords=None,
+        outcomes=None,
+        *,
+        y_true=None,
+        forecast=None,
+        timestamps=None,
+        window: float | None = None,
+        older_than: float | None = None,
+        evict_mask=None,
+    ) -> list:
+        """One streaming step: ingest arrivals, slide the window,
+        re-audit what changed.
+
+        Appends the given batch (if any) via
+        :meth:`AuditSession.append <repro.api.AuditSession.append>`,
+        applies at most one eviction selector via
+        :meth:`~repro.api.AuditSession.evict`, then evaluates every
+        watched spec.  A seeded spec whose stream key
+        (:meth:`_stream_key`) is unchanged since its last report is
+        answered from that report without touching the engine; the
+        rest run as one fused batch over the session's incrementally
+        maintained caches.  Reports are bit-identical to cold audits
+        of the post-event dataset either way.
+
+        Parameters
+        ----------
+        coords, outcomes, y_true, forecast, timestamps
+            The newly arrived batch, as in
+            :meth:`repro.api.AuditSession.append`; omit ``coords`` to
+            advance without arrivals.
+        window : float, optional
+            Sliding time window passed to ``evict(window=...)``.
+        older_than : float, optional
+            Age cutoff passed to ``evict(older_than=...)``.
+        evict_mask : bool ndarray, optional
+            Explicit eviction mask passed to ``evict(mask)``.
+
+        Returns
+        -------
+        list of AuditReport
+            One report per watched spec, in registration order.
+        """
+        with self._stream_lock:
+            self._advances += 1
+            if coords is not None:
+                if outcomes is None:
+                    raise ValueError(
+                        "advance: outcomes are required when "
+                        "appending points"
+                    )
+                self.session.append(
+                    coords,
+                    outcomes,
+                    y_true=y_true,
+                    forecast=forecast,
+                    timestamps=timestamps,
+                )
+            selectors = {
+                "mask": evict_mask,
+                "older_than": older_than,
+                "window": window,
+            }
+            given = {
+                k: v for k, v in selectors.items() if v is not None
+            }
+            if len(given) > 1:
+                raise ValueError(
+                    "advance: pass at most one of evict_mask, "
+                    "older_than or window"
+                )
+            if given:
+                ((kind, value),) = given.items()
+                if kind == "mask":
+                    self.session.evict(value)
+                else:
+                    self.session.evict(**{kind: value})
+            specs = list(self._watched)
+            keys = [self._stream_key(spec) for spec in specs]
+            to_run = []
+            for spec, key in zip(specs, keys):
+                entry = (
+                    None
+                    if key is None
+                    else self._stream_cache.get(spec.spec_hash())
+                )
+                if entry is not None and entry[0] == key:
+                    self._stream_skips += 1
+                else:
+                    to_run.append(spec)
+            reports = self.run_batch(to_run) if to_run else []
+            self._stream_runs += len(to_run)
+            fresh = dict(zip((s.spec_hash() for s in to_run), reports))
+            out = []
+            for spec, key in zip(specs, keys):
+                report = fresh.get(spec.spec_hash())
+                if report is None:
+                    report = self._stream_cache[spec.spec_hash()][1]
+                elif key is not None:
+                    self._stream_cache[spec.spec_hash()] = (key, report)
+                out.append(report)
+            return out
+
     # -- cache control & observability ---------------------------------
 
     def invalidate(self, spec: AuditSpec | None = None) -> int:
@@ -509,8 +734,11 @@ class AuditService:
             specs' budgets) vs ``worlds_simulated`` (worlds the
             session's engines actually drew — the amortisation),
             ``report_cache_hits`` / ``report_cache_misses`` /
-            ``report_cache_size``, and the session's
-            ``index_builds``.
+            ``report_cache_size``, the session's ``index_builds`` and
+            ``incremental_builds``, and the continuous-audit counters
+            ``watched`` / ``advances`` / ``stream_runs`` /
+            ``stream_skips`` (watched-spec evaluations answered from
+            the last report without re-running).
         """
         with self._lock:
             return {
@@ -526,4 +754,9 @@ class AuditService:
                 "report_cache_misses": self._cache_misses,
                 "report_cache_size": len(self._cache),
                 "index_builds": self.session.index_builds,
+                "incremental_builds": self.session.incremental_builds,
+                "watched": len(self._watched),
+                "advances": self._advances,
+                "stream_runs": self._stream_runs,
+                "stream_skips": self._stream_skips,
             }

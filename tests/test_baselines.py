@@ -1,0 +1,158 @@
+"""Unit tests for the comparison baselines in :mod:`repro.baselines`.
+
+Pins the two behaviours the paper contrasts the scan against: the
+MeanVar score's arithmetic (and its preference for sparse degenerate
+cells) and the naive per-region tester's multiple-testing trap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    mean_variance,
+    naive_audit,
+    rank_contributions,
+    top_contributors,
+)
+from repro.geometry import (
+    GridPartitioning,
+    Rect,
+    partition_region_set,
+    random_partitionings,
+)
+from repro.index import RegionMembership
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def fair_points():
+    rng = np.random.default_rng(21)
+    coords = rng.random((4_000, 2))
+    labels = (rng.random(4_000) < 0.5).astype(np.int8)
+    return coords, labels
+
+
+@pytest.fixture(scope="module")
+def biased_points():
+    rng = np.random.default_rng(22)
+    coords = rng.random((4_000, 2))
+    inside = Rect(0.0, 0.0, 0.4, 0.4).contains(coords)
+    rates = np.where(inside, 0.9, 0.4)
+    labels = (rng.random(4_000) < rates).astype(np.int8)
+    return coords, labels
+
+
+class TestMeanVariance:
+    def test_score_is_mean_of_per_partitioning(self, fair_points):
+        coords, labels = fair_points
+        parts = random_partitionings(UNIT, n=4, seed=3)
+        score = mean_variance(coords, labels, parts)
+        assert score.per_partitioning.shape == (4,)
+        assert score.mean_variance == pytest.approx(
+            score.per_partitioning.mean()
+        )
+        assert np.all(score.per_partitioning >= 0.0)
+
+    def test_constant_labels_score_zero(self, fair_points):
+        coords, _ = fair_points
+        parts = random_partitionings(UNIT, n=3, seed=3)
+        score = mean_variance(coords, np.ones(len(coords)), parts)
+        assert score.mean_variance == 0.0
+
+    def test_matches_manual_variance_on_one_grid(self, biased_points):
+        coords, labels = biased_points
+        grid = GridPartitioning.regular(UNIT, 4, 4)
+        score = mean_variance(coords, labels, [grid])
+        n = grid.counts(coords)
+        p = grid.counts(coords, weights=labels.astype(float))
+        rates = p[n > 0] / n[n > 0]
+        assert score.mean_variance == pytest.approx(np.var(rates))
+
+    def test_biased_data_scores_higher_than_fair(
+        self, fair_points, biased_points
+    ):
+        parts = random_partitionings(UNIT, n=5, seed=3)
+        fair = mean_variance(*fair_points, parts).mean_variance
+        biased = mean_variance(*biased_points, parts).mean_variance
+        assert biased > fair
+
+
+class TestContributions:
+    def test_ordering_and_arithmetic(self, biased_points):
+        coords, labels = biased_points
+        grid = GridPartitioning.regular(UNIT, 5, 5)
+        ranked = rank_contributions(grid, coords, labels)
+        n = grid.counts(coords)
+        assert len(ranked) == int((n > 0).sum())
+        contribs = [c.contribution for c in ranked]
+        assert contribs == sorted(contribs, reverse=True)
+        total = sum(contribs)
+        score = mean_variance(coords, labels, [grid]).mean_variance
+        assert total == pytest.approx(score)
+        for c in ranked:
+            assert c.rate == pytest.approx(c.p / c.n)
+            assert c.contribution == pytest.approx(
+                c.deviation**2 / len(ranked)
+            )
+            assert c.rect == grid.cell_rect(c.cell_index)
+
+    def test_sparse_degenerate_cells_rank_first(self):
+        # One point with label 1 in an otherwise empty cell: rate 1.0,
+        # maximal deviation — MeanVar's favourite kind of cell, per
+        # the paper's Figure 9 critique.
+        rng = np.random.default_rng(8)
+        coords = rng.random((2_000, 2)) * 0.5  # dense lower-left
+        labels = (rng.random(2_000) < 0.5).astype(np.int8)
+        coords = np.vstack([coords, [[0.95, 0.95]]])
+        labels = np.append(labels, 1)
+        grid = GridPartitioning.regular(UNIT, 4, 4)
+        top = top_contributors(grid, coords, labels, k=1)[0]
+        assert top.n == 1
+        assert top.rate == 1.0
+
+    def test_top_contributors_truncates(self, biased_points):
+        coords, labels = biased_points
+        grid = GridPartitioning.regular(UNIT, 5, 5)
+        full = rank_contributions(grid, coords, labels)
+        assert top_contributors(grid, coords, labels, k=3) == full[:3]
+
+
+class TestNaiveAudit:
+    def _membership(self, coords, nx=5, ny=5):
+        grid = GridPartitioning.regular(UNIT, nx, ny)
+        return RegionMembership(partition_region_set(grid), coords)
+
+    def test_flags_genuinely_biased_regions(self, biased_points):
+        coords, labels = biased_points
+        result = naive_audit(self._membership(coords), labels)
+        assert result.adjusted
+        assert not result.is_fair
+        assert len(result.flagged) >= 4  # the 0.4-square spans 4 cells
+        assert np.all((result.p_values >= 0) & (result.p_values <= 1))
+
+    def test_uncorrected_rejects_at_least_as_much(self, fair_points):
+        coords, labels = fair_points
+        member = self._membership(coords)
+        raw = naive_audit(member, labels, adjust=False)
+        adjusted = naive_audit(member, labels, adjust=True)
+        assert not raw.adjusted
+        assert set(adjusted.flagged) <= set(raw.flagged)
+
+    def test_empty_regions_never_reject(self):
+        rng = np.random.default_rng(30)
+        coords = rng.random((500, 2)) * 0.5  # upper-right cells empty
+        labels = (rng.random(500) < 0.5).astype(np.int8)
+        member = self._membership(coords, 2, 2)
+        result = naive_audit(member, labels)
+        empty = member.counts == 0
+        assert empty.any()
+        assert np.all(result.p_values[empty] == 1.0)
+
+    def test_is_fair_on_fair_data(self, fair_points):
+        coords, labels = fair_points
+        result = naive_audit(
+            self._membership(coords), labels, alpha=0.01
+        )
+        assert result.is_fair == (len(result.flagged) == 0)
+        assert result.alpha == 0.01

@@ -1,0 +1,197 @@
+"""Unit tests for the dataset generators in :mod:`repro.datasets`.
+
+The generators must be deterministic under their seed and reproduce
+the headline shape parameters the paper's experiments rely on: the
+Synth split rates, SemiSynth's global fairness, the LAR-like injected
+regional rates, the crime model's degraded-zone recall gap, and the
+forecast zones' observed/forecast ratios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DEFAULT_BIAS_REGIONS,
+    DEFAULT_MISCALIBRATIONS,
+    HOLLYWOOD_ZONE,
+    PAPER_N_APPLICATIONS,
+    PAPER_N_LOCATIONS,
+    SpatialDataset,
+    generate_crime_dataset,
+    generate_forecast_dataset,
+    generate_lar_like,
+    generate_lar_like_paper_scale,
+    generate_semisynth,
+    generate_synth,
+    sample_florida_locations,
+    synth_split_line,
+)
+from repro.geometry import Rect
+
+
+class TestSpatialDataset:
+    def test_headline_accessors(self):
+        coords = np.array([[0.0, 0.0], [1.0, 2.0], [1.0, 2.0]])
+        ds = SpatialDataset(
+            coords=coords,
+            y_pred=np.array([1, 0, 1], dtype=np.int8),
+            name="toy",
+        )
+        assert len(ds) == 3
+        assert ds.n_positive == 2
+        assert ds.positive_rate == pytest.approx(2.0 / 3.0)
+        assert ds.n_unique_locations() == 2
+        assert ds.bounds() == Rect(0.0, 0.0, 1.0, 2.0)
+
+    def test_empty_dataset_rate_is_zero(self):
+        ds = SpatialDataset(
+            coords=np.empty((0, 2)), y_pred=np.empty(0, dtype=np.int8)
+        )
+        assert len(ds) == 0
+        assert ds.positive_rate == 0.0
+
+    def test_describe_mentions_name_and_size(self):
+        ds = generate_synth(seed=0, n=500)
+        text = ds.describe()
+        assert "Synth" in text
+        assert "500" in text
+
+
+class TestSynth:
+    def test_deterministic_under_seed(self):
+        a = generate_synth(seed=3, n=2_000)
+        b = generate_synth(seed=3, n=2_000)
+        assert np.array_equal(a.coords, b.coords)
+        assert np.array_equal(a.y_pred, b.y_pred)
+        c = generate_synth(seed=4, n=2_000)
+        assert not np.array_equal(a.y_pred, c.y_pred)
+
+    def test_split_rates(self):
+        ds = generate_synth(seed=0, n=20_000)
+        left = ds.coords[:, 0] < synth_split_line()
+        assert ds.y_pred[left].mean() == pytest.approx(2 / 3, abs=0.02)
+        assert ds.y_pred[~left].mean() == pytest.approx(1 / 3, abs=0.02)
+
+    def test_city_bounds(self):
+        ds = generate_synth(seed=0, n=5_000)
+        assert np.all(ds.coords >= 0.0)
+        assert np.all(ds.coords <= 10.0)
+
+
+class TestSemiSynth:
+    def test_fair_by_construction(self):
+        ds = generate_semisynth(seed=0, n=20_000)
+        assert ds.positive_rate == pytest.approx(0.5, abs=0.02)
+        # Fairness is global *and* local: any box with enough points
+        # sits at the same rate, unlike Synth's halves.
+        box = Rect(-80.6, 25.4, -79.8, 26.6)  # Miami cluster
+        inside = box.contains(ds.coords)
+        assert inside.sum() > 1_000
+        assert ds.y_pred[inside].mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_florida_locations_cluster(self):
+        rng = np.random.default_rng(5)
+        coords = sample_florida_locations(8_000, rng)
+        assert coords.shape == (8_000, 2)
+        # The Miami cluster (weight 0.22) dominates a small box around
+        # it far beyond its share of the background area.
+        miami = Rect(-80.6, 25.4, -79.8, 26.2).contains(coords)
+        assert miami.mean() > 0.15
+
+    def test_florida_locations_track_generator_state(self):
+        a = sample_florida_locations(100, np.random.default_rng(9))
+        b = sample_florida_locations(100, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+
+class TestLarLike:
+    @pytest.fixture(scope="class")
+    def lar(self):
+        return generate_lar_like(
+            n_applications=40_000, n_tracts=8_000, seed=0
+        )
+
+    def test_tract_pool_bounds_unique_locations(self, lar):
+        assert len(lar) == 40_000
+        assert lar.n_unique_locations() <= 8_000
+
+    def test_injected_regional_rates(self, lar):
+        for bias in DEFAULT_BIAS_REGIONS[:2]:  # the headline regions
+            inside = bias.rect.contains(lar.coords)
+            assert inside.sum() > 500, bias.name
+            rate = lar.y_pred[inside].mean()
+            assert rate == pytest.approx(bias.rate, abs=0.03), bias.name
+
+    def test_global_rate_near_paper(self, lar):
+        assert lar.positive_rate == pytest.approx(0.62, abs=0.03)
+
+    def test_paper_scale_shape(self):
+        ds = generate_lar_like_paper_scale(seed=0)
+        assert len(ds) == PAPER_N_APPLICATIONS
+        assert ds.n_unique_locations() <= PAPER_N_LOCATIONS
+
+
+class TestCrimePipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return generate_crime_dataset(
+            n_incidents=12_000, seed=0, n_trees=4
+        )
+
+    def test_split_sizes_and_labels(self, pipeline):
+        assert len(pipeline.train) == 8_400
+        assert len(pipeline.test) == 3_600
+        for split in (pipeline.train, pipeline.test):
+            assert split.y_true is not None
+            assert set(np.unique(split.y_true)) <= {0, 1}
+            assert split.y_pred.dtype == np.int8
+
+    def test_model_beats_chance(self, pipeline):
+        assert 0.55 < pipeline.accuracy < 0.95
+        test = pipeline.test
+        acc = float((test.y_pred == test.y_true).mean())
+        assert acc == pytest.approx(pipeline.accuracy)
+
+    def test_recall_genuinely_drops_in_zone(self, pipeline):
+        test = pipeline.test
+        pos = test.y_true == 1
+        in_zone = HOLLYWOOD_ZONE.contains(test.coords)
+        tpr_in = test.y_pred[pos & in_zone].mean()
+        tpr_out = test.y_pred[pos & ~in_zone].mean()
+        assert tpr_in < tpr_out - 0.05
+        assert pipeline.test_tpr == pytest.approx(
+            test.y_pred[pos].mean()
+        )
+
+    def test_deterministic_under_seed(self):
+        a = generate_crime_dataset(n_incidents=2_000, seed=1, n_trees=2)
+        b = generate_crime_dataset(n_incidents=2_000, seed=1, n_trees=2)
+        assert np.array_equal(a.test.y_pred, b.test.y_pred)
+        assert a.accuracy == b.accuracy
+
+
+class TestForecastDataset:
+    def test_miscalibrated_zones_show_in_ratio(self):
+        ds = generate_forecast_dataset(seed=0)
+        assert len(ds) == 1_600
+        assert ds.name == "crime forecast"
+        under, over = DEFAULT_MISCALIBRATIONS
+        inside = under.rect.contains(ds.coords)
+        ratio = ds.observed[inside].sum() / ds.forecast[inside].sum()
+        assert ratio > 1.25  # observed excess where under-predicted
+        inside = over.rect.contains(ds.coords)
+        ratio = ds.observed[inside].sum() / ds.forecast[inside].sum()
+        assert ratio < 0.85  # deficit where over-predicted
+
+    def test_calibrated_control(self):
+        ds = generate_forecast_dataset(seed=0, zones=())
+        assert ds.name == "calibrated forecast"
+        assert ds.total_observed == pytest.approx(
+            ds.total_forecast, rel=0.05
+        )
+
+    def test_deterministic_under_seed(self):
+        a = generate_forecast_dataset(seed=2, n_areas=300)
+        b = generate_forecast_dataset(seed=2, n_areas=300)
+        assert np.array_equal(a.observed, b.observed)
+        assert np.array_equal(a.forecast, b.forecast)

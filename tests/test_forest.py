@@ -1,0 +1,122 @@
+"""Unit tests for the numpy random forest in :mod:`repro.forest`.
+
+The forest only has to be deterministic and competent enough to make
+the crime experiment's predictions; these tests pin both properties
+plus the structural edge cases (pure nodes, unsplittable nodes, the
+unfitted model).
+"""
+
+import numpy as np
+import pytest
+
+from repro.forest import DecisionTree, RandomForest
+
+
+@pytest.fixture(scope="module")
+def separable():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(1_000, 4))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(np.int8)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_learns_a_separable_rule(self, separable):
+        X, y = separable
+        tree = DecisionTree().fit(X, y, np.random.default_rng(1))
+        proba = tree.predict_proba(X)
+        assert proba.shape == (len(X),)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+        assert ((proba >= 0.5) == y).mean() > 0.9
+
+    def test_deterministic_under_rng_seed(self, separable):
+        X, y = separable
+        a = DecisionTree().fit(X, y, np.random.default_rng(5))
+        b = DecisionTree().fit(X, y, np.random.default_rng(5))
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.arange(100, dtype=float).reshape(-1, 1)
+        y = np.ones(100)
+        tree = DecisionTree().fit(X, y, np.random.default_rng(0))
+        assert len(tree._nodes) == 1
+        assert np.all(tree.predict_proba(X) == 1.0)
+
+    def test_min_leaf_blocks_splitting(self, separable):
+        X, y = separable
+        tree = DecisionTree(min_leaf=len(X)).fit(
+            X, y, np.random.default_rng(0)
+        )
+        assert len(tree._nodes) == 1
+        assert np.all(tree.predict_proba(X) == y.mean())
+
+    def test_constant_features_stay_a_leaf(self):
+        # Every candidate threshold puts all points on one side, so no
+        # split clears min_leaf and the root stays a leaf.
+        X = np.ones((200, 3))
+        y = np.tile([0, 1], 100).astype(float)
+        tree = DecisionTree().fit(X, y, np.random.default_rng(0))
+        assert len(tree._nodes) == 1
+        assert np.all(tree.predict_proba(X) == 0.5)
+
+    def test_max_depth_limits_tree(self, separable):
+        X, y = separable
+        shallow = DecisionTree(max_depth=1).fit(
+            X, y, np.random.default_rng(2)
+        )
+        assert len(shallow._nodes) <= 3
+
+    def test_max_features_subsets_candidates(self, separable):
+        X, y = separable
+        tree = DecisionTree(max_features=1).fit(
+            X, y, np.random.default_rng(3)
+        )
+        # Still a valid tree; the per-node subsets just shrink.
+        assert ((tree.predict_proba(X) >= 0.5) == y).mean() > 0.6
+
+
+class TestRandomForest:
+    def test_accuracy_and_hard_predictions(self, separable):
+        X, y = separable
+        model = RandomForest(n_trees=5, seed=0).fit(X, y)
+        pred = model.predict(X)
+        assert pred.dtype == np.int8
+        assert set(np.unique(pred)) <= {0, 1}
+        assert (pred == y).mean() > 0.9
+
+    def test_deterministic_under_seed(self, separable):
+        X, y = separable
+        a = RandomForest(n_trees=4, seed=7).fit(X, y)
+        b = RandomForest(n_trees=4, seed=7).fit(X, y)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+        c = RandomForest(n_trees=4, seed=8).fit(X, y)
+        assert not np.array_equal(
+            a.predict_proba(X), c.predict_proba(X)
+        )
+
+    def test_proba_averages_trees(self, separable):
+        X, y = separable
+        model = RandomForest(n_trees=3, seed=0).fit(X, y)
+        stacked = np.mean(
+            [t.predict_proba(X) for t in model._trees], axis=0
+        )
+        assert np.allclose(model.predict_proba(X), stacked)
+
+    def test_unfitted_model_predicts_negative(self, separable):
+        X, _ = separable
+        model = RandomForest()
+        assert np.all(model.predict_proba(X) == 0.0)
+        assert np.all(model.predict(X) == 0)
+
+    def test_default_max_features_is_sqrt(self, separable):
+        X, y = separable
+        model = RandomForest(n_trees=2, seed=0).fit(X, y)
+        assert model._trees[0].max_features == int(
+            np.ceil(np.sqrt(X.shape[1]))
+        )
+
+    def test_refit_replaces_trees(self, separable):
+        X, y = separable
+        model = RandomForest(n_trees=2, seed=0).fit(X, y)
+        model.fit(X, y)
+        assert len(model._trees) == 2

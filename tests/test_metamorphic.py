@@ -1,0 +1,188 @@
+"""Seeded metamorphic properties of the audit pipeline.
+
+Each test transforms the *input* in a way with a provable effect on
+the *output* and pins that relation:
+
+* permuting the points must not change any observed statistic (region
+  populations are sets — all three families);
+* complementing binary labels must leave two-sided statistics alone
+  and swap the ``lower``/``higher`` directional scans;
+* streaming the data in two batches must equal streaming it in one.
+
+Monte Carlo p-values are **not** permutation-invariant bit for bit:
+each null world draws one value per point *index*, so reordering the
+points reassigns the draws.  The observed statistics and (on strongly
+biased data) the verdicts are the invariants; the bit-exact
+``incremental == cold`` contract lives in ``tests/test_streaming.py``.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import AuditSession
+from repro.spec import AuditSpec, RegionSpec
+
+from tests.conftest import N_WORLDS
+
+GRID = RegionSpec.grid(5, 5, bounds=(0.0, 0.0, 1.0, 1.0))
+
+#: One deterministic permutation shared by every invariance test.
+_PERM_SEED = 7
+
+
+def observed_llrs(report) -> np.ndarray:
+    """Per-region observed statistics, in region order."""
+    return np.array([f.llr for f in report.findings])
+
+
+class TestPermutationInvariance:
+    """Region populations are sets: point order cannot matter."""
+
+    def _run_pair(self, spec, coords, outcomes, **kwargs):
+        perm = np.random.default_rng(_PERM_SEED).permutation(
+            len(coords)
+        )
+        original = AuditSession(coords, outcomes, **kwargs).run(spec)
+        permuted = AuditSession(
+            coords[perm],
+            outcomes[perm],
+            **{
+                key: (None if value is None else value[perm])
+                for key, value in kwargs.items()
+            },
+        ).run(spec)
+        return original, permuted
+
+    def test_bernoulli_observed_exact(self, unit_coords, biased_labels):
+        spec = AuditSpec(regions=GRID, n_worlds=N_WORLDS, seed=11)
+        original, permuted = self._run_pair(
+            spec, unit_coords, biased_labels
+        )
+        assert np.array_equal(
+            observed_llrs(original), observed_llrs(permuted)
+        )
+        assert original.is_fair == permuted.is_fair
+
+    def test_poisson_observed_exact(self, unit_coords, biased_counts):
+        observed, forecast = biased_counts
+        spec = AuditSpec(
+            regions=GRID, n_worlds=N_WORLDS, seed=11, family="poisson"
+        )
+        # The fixture's forecast is constant, so the per-region
+        # expected sums are order-free even in float arithmetic and
+        # exact equality is provable.
+        original, permuted = self._run_pair(
+            spec, unit_coords, observed, forecast=forecast
+        )
+        assert np.array_equal(
+            observed_llrs(original), observed_llrs(permuted)
+        )
+        assert original.is_fair == permuted.is_fair
+
+    def test_multinomial_observed_exact(
+        self, unit_coords, biased_classes
+    ):
+        spec = AuditSpec(
+            regions=GRID,
+            n_worlds=N_WORLDS,
+            seed=11,
+            family="multinomial",
+        )
+        original, permuted = self._run_pair(
+            spec, unit_coords, biased_classes
+        )
+        assert np.array_equal(
+            observed_llrs(original), observed_llrs(permuted)
+        )
+        assert original.is_fair == permuted.is_fair
+
+    def test_verdict_stable_on_strong_bias(
+        self, unit_coords, biased_labels
+    ):
+        # The biased fixture is far beyond the rejection threshold:
+        # the verdict must survive reordering even though individual
+        # p-values may wiggle within the Monte Carlo resolution.
+        spec = AuditSpec(regions=GRID, n_worlds=N_WORLDS, seed=11)
+        original, permuted = self._run_pair(
+            spec, unit_coords, biased_labels
+        )
+        assert not original.is_fair
+        assert not permuted.is_fair
+        assert (
+            original.result.best_finding.index
+            == permuted.result.best_finding.index
+        )
+
+
+class TestLabelFlipAntisymmetry:
+    """Complementing binary labels mirrors the scan's direction."""
+
+    def test_two_sided_statistics_invariant(
+        self, unit_coords, biased_labels
+    ):
+        spec = AuditSpec(regions=GRID, n_worlds=N_WORLDS, seed=13)
+        original = AuditSession(unit_coords, biased_labels).run(spec)
+        flipped = AuditSession(unit_coords, 1 - biased_labels).run(spec)
+        # The two-sided bernoulli LLR is symmetric in (k, n-k) given
+        # (K, N-K); the complement only reorders additions, so the
+        # statistics agree to float round-off.
+        assert np.allclose(
+            observed_llrs(original),
+            observed_llrs(flipped),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+        assert original.is_fair == flipped.is_fair
+        assert (
+            original.result.best_finding.index
+            == flipped.result.best_finding.index
+        )
+
+    def test_directional_scans_swap_exactly(
+        self, unit_coords, biased_labels
+    ):
+        spec = AuditSpec(regions=GRID, n_worlds=N_WORLDS, seed=13)
+        lower = AuditSession(unit_coords, biased_labels).run(
+            dataclasses.replace(spec, direction="lower")
+        )
+        higher = AuditSession(unit_coords, 1 - biased_labels).run(
+            dataclasses.replace(spec, direction="higher")
+        )
+        # A rate deficit in the original is the same-magnitude surplus
+        # in the complement: the directional scans trade places with
+        # bit-identical observed statistics.
+        assert np.array_equal(
+            observed_llrs(lower), observed_llrs(higher)
+        )
+        assert lower.is_fair == higher.is_fair
+
+
+class TestBatchingEquivalence:
+    """Stream composition: (A + B) + C == A + (B + C) == A + B + C."""
+
+    def test_two_batches_equal_one(self, unit_coords, biased_labels):
+        spec = AuditSpec(regions=GRID, n_worlds=N_WORLDS, seed=17)
+        split = AuditSession(unit_coords[:200], biased_labels[:200])
+        split.append(unit_coords[200:400], biased_labels[200:400])
+        split.append(unit_coords[400:], biased_labels[400:])
+        joined = AuditSession(unit_coords[:200], biased_labels[:200])
+        joined.append(unit_coords[200:], biased_labels[200:])
+        cold = AuditSession(unit_coords, biased_labels)
+        payloads = {
+            json.dumps(s.run(spec).to_dict(full=True), sort_keys=True)
+            for s in (split, joined, cold)
+        }
+        assert len(payloads) == 1
+
+    def test_batching_preserves_fingerprint(
+        self, unit_coords, biased_labels
+    ):
+        split = AuditSession(unit_coords[:300], biased_labels[:300])
+        split.append(unit_coords[300:], biased_labels[300:])
+        cold = AuditSession(unit_coords, biased_labels)
+        assert (
+            split.dataset_fingerprint() == cold.dataset_fingerprint()
+        )

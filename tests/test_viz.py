@@ -1,0 +1,181 @@
+"""Unit tests for the SVG figure writers in :mod:`repro.viz`.
+
+The writers are dependency-free string emitters, so the tests parse
+the output with the stdlib XML parser and assert on the drawn
+elements: point subsampling, outcome colouring, finding outlines and
+their verdict colours, annotations, and the scan-geometry squares.
+"""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core import Finding
+from repro.datasets import SpatialDataset, generate_synth
+from repro.geometry import Rect
+from repro.viz import (
+    dataset_figure,
+    rect_overlay_figure,
+    regions_figure,
+    scan_geometry_figure,
+)
+
+SVG = "{http://www.w3.org/2000/svg}"
+
+GREEN_OUTLINE = "#1c7a36"
+RED_OUTLINE = "#a31515"
+NEUTRAL_OUTLINE = "#1f4f8f"
+
+
+def svg_root(path):
+    root = ET.parse(path).getroot()
+    assert root.tag == f"{SVG}svg"
+    return root
+
+
+def elements(root, tag):
+    return root.findall(f".//{SVG}{tag}")
+
+
+def make_finding(direction, rect=Rect(0.2, 0.2, 0.6, 0.6)):
+    return Finding(
+        index=0,
+        center_id=0,
+        rect=rect,
+        n=40,
+        p=30,
+        rho_in=0.75,
+        llr=8.0,
+        p_value=0.01,
+        significant=True,
+        direction=direction,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    rng = np.random.default_rng(0)
+    return SpatialDataset(
+        coords=rng.random((120, 2)),
+        y_pred=(rng.random(120) < 0.5).astype(np.int8),
+        name="small",
+    )
+
+
+class TestDatasetFigure:
+    def test_draws_every_point_with_outcome_colours(
+        self, small_dataset, tmp_path
+    ):
+        out = dataset_figure(
+            small_dataset, tmp_path / "fig.svg", title="hello"
+        )
+        assert out == tmp_path / "fig.svg"
+        root = svg_root(out)
+        circles = elements(root, "circle")
+        assert len(circles) == len(small_dataset)
+        fills = {c.get("fill") for c in circles}
+        assert fills == {"#2f8f4e", "#c94040"}
+        titles = elements(root, "text")
+        assert titles and titles[0].text == "hello"
+
+    def test_no_title_no_text(self, small_dataset, tmp_path):
+        root = svg_root(dataset_figure(small_dataset, tmp_path / "f.svg"))
+        assert elements(root, "text") == []
+
+    def test_large_dataset_is_subsampled(self, tmp_path):
+        ds = generate_synth(seed=0, n=6_000)
+        root = svg_root(dataset_figure(ds, tmp_path / "big.svg"))
+        assert len(elements(root, "circle")) == 4_000
+
+    def test_creates_parent_directories(self, small_dataset, tmp_path):
+        out = dataset_figure(
+            small_dataset, tmp_path / "a" / "b" / "fig.svg"
+        )
+        assert out.exists()
+
+
+class TestRectOverlayFigure:
+    def test_outlines_and_labels(self, small_dataset, tmp_path):
+        rects = [Rect(0.1, 0.1, 0.4, 0.4), Rect(0.5, 0.5, 0.9, 0.9)]
+        root = svg_root(
+            rect_overlay_figure(
+                small_dataset,
+                rects,
+                tmp_path / "fig.svg",
+                labels=["first"],  # fewer labels than rects is fine
+            )
+        )
+        outlines = [
+            r for r in elements(root, "rect") if r.get("fill") == "none"
+        ]
+        assert len(outlines) == len(rects)
+        texts = [t.text for t in elements(root, "text")]
+        assert "first" in texts
+
+
+class TestRegionsFigure:
+    def test_verdict_colours(self, small_dataset, tmp_path):
+        findings = [
+            make_finding(+1),
+            make_finding(-1, rect=Rect(0.0, 0.0, 0.3, 0.3)),
+            make_finding(0, rect=Rect(0.6, 0.6, 0.9, 0.9)),
+        ]
+        root = svg_root(
+            regions_figure(small_dataset, findings, tmp_path / "f.svg")
+        )
+        outlines = [
+            r for r in elements(root, "rect") if r.get("fill") == "none"
+        ]
+        assert [r.get("stroke") for r in outlines] == [
+            GREEN_OUTLINE,
+            RED_OUTLINE,
+            NEUTRAL_OUTLINE,
+        ]
+
+    def test_annotate_writes_stats(self, small_dataset, tmp_path):
+        root = svg_root(
+            regions_figure(
+                small_dataset,
+                [make_finding(+1)],
+                tmp_path / "f.svg",
+                annotate=True,
+            )
+        )
+        texts = [t.text for t in elements(root, "text")]
+        assert "n=40 rate=0.75" in texts
+
+    def test_no_findings_is_just_the_scatter(
+        self, small_dataset, tmp_path
+    ):
+        root = svg_root(
+            regions_figure(small_dataset, [], tmp_path / "f.svg")
+        )
+        outlines = [
+            r for r in elements(root, "rect") if r.get("fill") == "none"
+        ]
+        assert outlines == []
+
+
+class TestScanGeometryFigure:
+    def test_centres_and_example_squares(self, small_dataset, tmp_path):
+        centers = np.array([[0.5, 0.5], [0.2, 0.8], [0.8, 0.2]])
+        root = svg_root(
+            scan_geometry_figure(
+                small_dataset,
+                centers,
+                min_side=0.1,
+                max_side=0.4,
+                path=tmp_path / "f.svg",
+                title="geometry",
+            )
+        )
+        circles = elements(root, "circle")
+        # Unlabelled scatter + one marker per centre.
+        assert len(circles) == len(small_dataset) + len(centers)
+        squares = [
+            r for r in elements(root, "rect") if r.get("fill") == "none"
+        ]
+        assert len(squares) == 2
+        dashes = [r.get("stroke-dasharray") for r in squares]
+        assert dashes == [None, "6 4"]  # solid min side, dashed max

@@ -9,7 +9,8 @@ Two modes:
       python tools/check_coverage.py --json coverage.json --min 80 \\
           src/repro/stats.py src/repro/index.py src/repro/engine.py \\
           src/repro/budget.py src/repro/kernels.py \\
-          src/repro/fingerprint.py
+          src/repro/fingerprint.py src/repro/datasets.py \\
+          src/repro/baselines.py src/repro/forest.py src/repro/viz.py
 
 * **Trace mode** (local, stdlib only — this repo's container has no
   ``coverage`` package): run the unit suite under :mod:`trace`,
