@@ -31,8 +31,17 @@ through :class:`repro.serve.AuditService` (see :mod:`repro.serve`),
 or from the shell: ``python -m repro batch specs/*.json --data
 data.npz``.
 
+Many datasets and tenants at once go through the gateway
+(:mod:`repro.gateway`): a shared-memory dataset registry
+(:mod:`repro.registry`), spatially tiled membership builds
+(:mod:`repro.tiling`), bounded admission with per-tenant quotas, and
+a stdlib HTTP front door — ``python -m repro serve --port 8080``.
+
 Module map: :mod:`repro.api` (sessions, reports, the builder),
 :mod:`repro.serve` (batched multi-spec service, fused simulation),
+:mod:`repro.gateway` (multi-tenant front door: back-pressure, asyncio,
+HTTP), :mod:`repro.registry` (shared-memory dataset store),
+:mod:`repro.tiling` (sharded membership builds),
 :mod:`repro.spec` (declarative audit requests), :mod:`repro.core`
 (family/measure registries, dispatch, legacy auditors, analyses),
 :mod:`repro.engine` (shared parallel Monte Carlo engine),
@@ -112,19 +121,35 @@ from .fingerprint import (
     array_fingerprint,
     dataset_fingerprint,
 )
+from .gateway import (
+    AsyncAuditGateway,
+    AuditGateway,
+    GatewayDrainingError,
+    GatewayError,
+    GatewayFullError,
+    GatewayHTTPServer,
+    GatewayTicket,
+    TenantQuotaError,
+    UnknownDatasetError,
+    serve_http,
+)
 from .index import GridIndex, KDTree, RegionMembership, StackedMembership
 from .kernels import (
     active_backend,
     numba_available,
     set_backend,
 )
+from .registry import DatasetRegistry, SharedDataset
 from .serve import AuditService, PendingAudit
 from .spec import AuditSpec, RegionSpec
+from .tiling import TileStats, TilingPolicy, tiled_membership
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
+    "AsyncAuditGateway",
     "AuditBuilder",
+    "AuditGateway",
     "AuditReport",
     "AuditResult",
     "AuditService",
@@ -134,8 +159,14 @@ __all__ = [
     "BudgetPolicy",
     "CORRECTIONS",
     "Contribution",
+    "DatasetRegistry",
     "FAMILIES",
     "Finding",
+    "GatewayDrainingError",
+    "GatewayError",
+    "GatewayFullError",
+    "GatewayHTTPServer",
+    "GatewayTicket",
     "GerrymanderScore",
     "GridIndex",
     "GridPartitioning",
@@ -161,10 +192,15 @@ __all__ = [
     "RegionSpec",
     "ResolvedSpec",
     "ScanFamily",
+    "SharedDataset",
     "StackedMembership",
     "SpatialDataset",
     "SpatialFairnessAuditor",
     "StopDecision",
+    "TenantQuotaError",
+    "TileStats",
+    "TilingPolicy",
+    "UnknownDatasetError",
     "active_backend",
     "array_fingerprint",
     "audit",
@@ -186,8 +222,10 @@ __all__ = [
     "run_scan",
     "scan_centers",
     "select_non_overlapping",
+    "serve_http",
     "set_backend",
     "square_region_set",
+    "tiled_membership",
     "top_contributors",
     "__version__",
 ]

@@ -8,6 +8,7 @@ a dataset stored as a numpy ``.npz`` archive and prints
     python -m repro batch specs/*.json --data data.npz
     python -m repro stream specs/*.json --data day0.npz \
         --update day1.npz --update day2.npz --window 86400
+    python -m repro serve --port 8080 --data city=data.npz
     python -m repro validate spec.json
 
 ``batch`` serves every spec through one
@@ -22,6 +23,14 @@ arrival batch (``--window`` then slides a time window over the
 ``timestamps`` array), and only the specs whose measured data actually
 changed are re-run at each step
 (:meth:`repro.serve.AuditService.advance`).
+
+``serve`` boots the multi-tenant HTTP gateway
+(:class:`repro.gateway.GatewayHTTPServer`): each ``--data NAME=file``
+registers a named dataset in a shared-memory
+:class:`repro.registry.DatasetRegistry`, ``--queue-size`` /
+``--tenant-quota`` bound admission (rejections are HTTP 429 with
+``Retry-After``), ``--tiles NXxNY`` shards membership builds, and
+SIGTERM/SIGINT drain in-flight audits before exit.
 
 The ``.npz`` archive must hold ``coords`` (an ``(n, 2)`` float array)
 and the outcomes under ``outcomes`` (aliases ``y_pred``, ``labels`` or
@@ -235,6 +244,57 @@ def main(argv: list | None = None) -> int:
         "--indent", type=int, default=2, help="JSON indent (default 2)"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="boot the multi-tenant HTTP audit gateway",
+    )
+    serve.add_argument(
+        "--data", action="append", default=[], metavar="NAME=NPZ",
+        help="register an .npz dataset under NAME (repeatable; "
+        "datasets can also be POSTed to /datasets at runtime)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks an ephemeral one)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="gateway-wide cap on in-flight audits (excess submits "
+        "get HTTP 429 + Retry-After)",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="per-tenant cap on in-flight audits",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation worker count for every dataset session",
+    )
+    serve.add_argument(
+        "--tiles", default=None, metavar="NXxNY",
+        help="shard membership builds over an NXxNY tile grid "
+        "(e.g. 4x4)",
+    )
+    serve.add_argument(
+        "--tile-workers", type=int, default=None,
+        help="process count for the per-tile builds",
+    )
+    serve.add_argument(
+        "--n-classes", type=int, default=None,
+        help="class count applied to every --data dataset",
+    )
+    serve.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="kernel backend (default: REPRO_BACKEND env or 'auto')",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log each HTTP request to stderr",
+    )
+
     validate = sub.add_parser(
         "validate", help="parse a spec and print its canonical form"
     )
@@ -251,6 +311,8 @@ def main(argv: list | None = None) -> int:
         return _run_batch(args)
     if args.command == "stream":
         return _run_stream(args)
+    if args.command == "serve":
+        return _run_serve(args)
     try:
         spec = _load_spec(args.spec)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
@@ -360,6 +422,83 @@ def _run_stream(args: argparse.Namespace) -> int:
         "service": service.stats(),
     }
     print(json.dumps(payload, indent=args.indent))
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: register the ``--data`` datasets,
+    boot the HTTP gateway, block until SIGTERM/SIGINT, drain."""
+    from .gateway import AuditGateway, serve_http
+    from .tiling import TilingPolicy
+
+    tiling = None
+    if args.tiles is not None:
+        try:
+            nx, _, ny = args.tiles.lower().partition("x")
+            tiling = TilingPolicy(
+                int(nx), int(ny), workers=args.tile_workers
+            )
+        except ValueError as exc:
+            print(
+                f"invalid --tiles {args.tiles!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        gateway = AuditGateway(
+            queue_size=args.queue_size,
+            tenant_quota=args.tenant_quota,
+            workers=args.workers,
+            tiling=tiling,
+        )
+    except ValueError as exc:
+        print(f"invalid gateway options: {exc}", file=sys.stderr)
+        return 2
+    for entry in args.data:
+        name, sep, path = entry.partition("=")
+        if not sep or not name or not path:
+            print(
+                f"invalid --data {entry!r}: expected NAME=file.npz",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            arrays = _load_arrays(path)
+        except OSError as exc:
+            print(f"cannot load {path}: {exc}", file=sys.stderr)
+            return 2
+        gateway.register(
+            name,
+            arrays["coords"],
+            arrays["outcomes"],
+            y_true=arrays["y_true"],
+            forecast=arrays["forecast"],
+            n_classes=args.n_classes,
+        )
+        print(
+            f"registered dataset {name!r} "
+            f"({len(arrays['coords'])} points)",
+            file=sys.stderr,
+        )
+
+    def _announce(server):
+        # Line protocol for smoke tests and supervisors: the bound
+        # URL on stdout once the socket is live.
+        print(f"listening on {server.url}", flush=True)
+
+    try:
+        serve_http(
+            gateway,
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+            ready=_announce,
+        )
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print("drained; bye", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,1125 @@
+"""Sharded multi-tenant audit gateway: one front door, many datasets.
+
+:class:`repro.serve.AuditService` serves batches over *one* dataset.
+This module is the layer above it — the deployment front door that a
+fleet of tenants talks to:
+
+* :class:`AuditGateway` routes each request by dataset name through a
+  :class:`repro.registry.DatasetRegistry` (shared-memory storage,
+  content-deduplicated) to a per-dataset service, with a **bounded
+  admission queue** (full → :class:`GatewayFullError`, HTTP 429 with
+  ``Retry-After``), optional per-tenant quotas
+  (:class:`TenantQuotaError`) and a graceful :meth:`~AuditGateway.drain`
+  that finishes queued work while refusing new submissions
+  (:class:`GatewayDrainingError`, 503);
+* :class:`AsyncAuditGateway` exposes the same flow to ``asyncio``
+  code — ``await`` a submit, gather many tenants concurrently —
+  without blocking the event loop (blocking calls run on executor
+  threads);
+* :class:`GatewayHTTPServer` + ``python -m repro serve`` put the
+  gateway behind a stdlib-only threaded JSON API: ``POST /audit``
+  (synchronous or ticketed), ``GET /tickets/<id>``, ``POST /batch``,
+  ``GET``/``POST /datasets``, ``GET /stats``, ``GET /healthz``.
+
+Every execution path below the gateway is the existing deterministic
+machinery — fused service batches, SeedSequence-per-chunk simulation,
+optionally tile-sharded membership builds (:mod:`repro.tiling`) — so a
+report served over HTTP to one of fifty tenants is bit-identical to
+the same spec run alone in-process (asserted in
+``tests/test_gateway.py``).  :meth:`AuditGateway.stats` surfaces
+queue depth and peak, admission rejections, per-tenant counters,
+end-to-end latency and per-dataset shard utilization for dashboards;
+``tools/loadgen.py`` appends them as ``gateway_history`` rows to
+``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import Sequence
+
+import numpy as np
+
+from .registry import DatasetRegistry
+from .serve import AuditService, PendingAudit
+from .spec import AuditSpec
+from .tiling import TilingPolicy
+
+__all__ = [
+    "GatewayError",
+    "UnknownDatasetError",
+    "GatewayFullError",
+    "TenantQuotaError",
+    "GatewayDrainingError",
+    "GatewayTicket",
+    "AuditGateway",
+    "AsyncAuditGateway",
+    "GatewayHTTPServer",
+    "serve_http",
+]
+
+
+class GatewayError(Exception):
+    """Base class for gateway admission failures.
+
+    Attributes
+    ----------
+    http_status : int
+        The HTTP status the JSON API maps this error to.
+    """
+
+    http_status = 400
+
+
+class UnknownDatasetError(GatewayError):
+    """The request names a dataset the registry does not hold (404)."""
+
+    http_status = 404
+
+
+class GatewayFullError(GatewayError):
+    """The admission queue is at capacity (429).
+
+    Attributes
+    ----------
+    retry_after : float
+        Suggested back-off seconds (the HTTP layer sends it as a
+        ``Retry-After`` header).
+    """
+
+    http_status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class TenantQuotaError(GatewayFullError):
+    """One tenant holds its whole in-flight quota (429).
+
+    Other tenants are still admitted — the per-tenant bound is what
+    keeps one chatty tenant from starving the shared queue.
+    """
+
+
+class GatewayDrainingError(GatewayError):
+    """The gateway is shutting down and refuses new work (503)."""
+
+    http_status = 503
+
+
+class GatewayTicket:
+    """One admitted audit: redeem for its report, or poll it.
+
+    Returned by :meth:`AuditGateway.submit`.  The ticket wraps the
+    underlying service's :class:`repro.serve.PendingAudit` and adds
+    the gateway bookkeeping: a stable id (the HTTP API's handle), the
+    tenant and dataset it was admitted under, and submit/finish
+    timestamps feeding the gateway's latency counters.
+
+    Attributes
+    ----------
+    id : str
+        Stable handle (``t-<n>``), unique within the gateway.
+    dataset : str
+        Dataset name the spec runs against.
+    tenant : str
+        Tenant the submission was accounted to.
+    spec : AuditSpec
+    """
+
+    def __init__(
+        self,
+        gateway: "AuditGateway",
+        ticket_id: str,
+        dataset: str,
+        tenant: str,
+        pending: PendingAudit,
+    ):
+        self._gateway = gateway
+        self.id = ticket_id
+        self.dataset = dataset
+        self.tenant = tenant
+        self.spec = pending.spec
+        self._pending = pending
+        self._submitted_at = time.monotonic()
+        self._settled = False
+
+    def done(self) -> bool:
+        """Whether the underlying audit has resolved."""
+        return self._pending.done()
+
+    def result(self, timeout: float | None = None):
+        """The audit's report, driving a service gather if needed.
+
+        Parameters
+        ----------
+        timeout : float, optional
+            As in :meth:`repro.serve.PendingAudit.result`.
+
+        Returns
+        -------
+        AuditReport
+        """
+        try:
+            report = self._pending.result(timeout=timeout)
+        except TimeoutError:
+            raise
+        except Exception:
+            self._gateway._settle(self, error=True)
+            raise
+        self._gateway._settle(self, error=False)
+        return report
+
+
+class AuditGateway:
+    """Multi-dataset, multi-tenant audit front door with back-pressure.
+
+    The gateway owns a :class:`repro.registry.DatasetRegistry` (or
+    wraps one you pass in) and lazily builds one
+    :class:`repro.serve.AuditService` per registered dataset, sharing
+    the gateway-wide ``workers``/``tiling`` execution policy.
+    Admission is bounded: at most ``queue_size`` audits may be in
+    flight (submitted, not yet resolved) across all tenants, and at
+    most ``tenant_quota`` per tenant — excess submissions raise
+    :class:`GatewayFullError` / :class:`TenantQuotaError` immediately
+    instead of queueing unboundedly, which is what lets the HTTP layer
+    return an honest 429 with ``Retry-After``.
+
+    >>> import numpy as np
+    >>> from repro.spec import AuditSpec, RegionSpec
+    >>> rng = np.random.default_rng(0)
+    >>> gw = AuditGateway(use_shared_memory=False)
+    >>> _ = gw.register("demo", rng.random((80, 2)),
+    ...                 rng.integers(0, 2, 80))
+    >>> spec = AuditSpec(regions=RegionSpec.grid(3, 3), n_worlds=25,
+    ...                  seed=1)
+    >>> report = gw.run("demo", spec, tenant="alice")
+    >>> gw.stats()["completed"]
+    1
+
+    Parameters
+    ----------
+    registry : DatasetRegistry, optional
+        Dataset store to route through; a fresh one is created (and
+        owned) when omitted.
+    queue_size : int, default 64
+        Gateway-wide cap on in-flight audits.
+    tenant_quota : int, optional
+        Per-tenant cap on in-flight audits; ``None`` leaves only the
+        gateway-wide bound.
+    workers : int, optional
+        Default simulation worker count for every per-dataset session.
+    tiling : TilingPolicy, optional
+        Shard membership builds spatially (:mod:`repro.tiling`).
+    cache_size : int, default 128
+        Per-dataset service report-cache size.
+    use_shared_memory : bool, default True
+        Passed to the owned registry when ``registry`` is omitted.
+    """
+
+    def __init__(
+        self,
+        registry: DatasetRegistry | None = None,
+        queue_size: int = 64,
+        tenant_quota: int | None = None,
+        workers: int | None = None,
+        tiling: TilingPolicy | None = None,
+        cache_size: int = 128,
+        use_shared_memory: bool = True,
+    ):
+        if int(queue_size) < 1:
+            raise ValueError(
+                f"queue_size: expected >= 1, got {queue_size!r}"
+            )
+        if tenant_quota is not None and int(tenant_quota) < 1:
+            raise ValueError(
+                "tenant_quota: expected None or >= 1, got "
+                f"{tenant_quota!r}"
+            )
+        self.registry = (
+            registry
+            if registry is not None
+            else DatasetRegistry(use_shared_memory=use_shared_memory)
+        )
+        self.queue_size = int(queue_size)
+        self.tenant_quota = (
+            None if tenant_quota is None else int(tenant_quota)
+        )
+        self.workers = workers
+        self.tiling = tiling
+        self.cache_size = int(cache_size)
+        self._services: dict = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._tickets: dict = {}
+        self._inflight: list = []
+        self._per_tenant: dict = {}
+        self._draining = False
+        self._submitted = 0
+        self._completed = 0
+        self._errors = 0
+        self._rejected_full = 0
+        self._rejected_quota = 0
+        self._rejected_draining = 0
+        self._queue_peak = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+        self._latency_count = 0
+
+    # -- datasets ------------------------------------------------------
+
+    def register(self, name: str, coords, outcomes, **kwargs):
+        """Register (or replace) a named dataset; see
+        :meth:`repro.registry.DatasetRegistry.register`.
+
+        Replacing a name's content drops that name's service so the
+        next request builds one over the new arrays (report caches are
+        fingerprint-keyed, so stale answers were impossible anyway —
+        this just frees the old session's memory).
+
+        Returns
+        -------
+        SharedDataset
+        """
+        dataset = self.registry.register(
+            name, coords, outcomes, **kwargs
+        )
+        with self._lock:
+            service = self._services.get(name)
+            if (
+                service is not None
+                and service.session.dataset_fingerprint()
+                != dataset.fingerprint
+            ):
+                del self._services[name]
+        return dataset
+
+    def service(self, dataset: str) -> AuditService:
+        """The per-dataset service, built lazily over the registry's
+        shared views.
+
+        Parameters
+        ----------
+        dataset : str
+            Registered dataset name.
+
+        Returns
+        -------
+        AuditService
+
+        Raises
+        ------
+        UnknownDatasetError
+            The name is not registered.
+        """
+        try:
+            shared = self.registry.get(dataset)
+        except KeyError as exc:
+            raise UnknownDatasetError(str(exc.args[0])) from None
+        with self._lock:
+            service = self._services.get(dataset)
+            if service is None:
+                service = AuditService(
+                    shared.session(
+                        workers=self.workers, tiling=self.tiling
+                    ),
+                    cache_size=self.cache_size,
+                )
+                self._services[dataset] = service
+            return service
+
+    # -- admission -----------------------------------------------------
+
+    def _reap(self) -> int:
+        """Drop resolved tickets from the in-flight accounting; caller
+        holds the lock.  Returns the remaining depth."""
+        still = []
+        for ticket in self._inflight:
+            if ticket._pending.done():
+                self._account_done(ticket)
+            else:
+                still.append(ticket)
+        self._inflight = still
+        return len(still)
+
+    def _account_done(self, ticket: GatewayTicket) -> None:
+        """Fold one freshly resolved ticket into the latency and
+        outcome counters; caller holds the lock."""
+        if ticket._settled:
+            return
+        ticket._settled = True
+        elapsed = time.monotonic() - ticket._submitted_at
+        self._latency_total += elapsed
+        self._latency_max = max(self._latency_max, elapsed)
+        self._latency_count += 1
+        tenant = self._per_tenant[ticket.tenant]
+        tenant["inflight"] -= 1
+        if ticket._pending._error is not None:
+            self._errors += 1
+            tenant["errors"] += 1
+        else:
+            self._completed += 1
+            tenant["completed"] += 1
+
+    def _settle(self, ticket: GatewayTicket, error: bool) -> None:
+        """Ticket-side notification that a result was redeemed."""
+        with self._lock:
+            if not ticket._settled:
+                self._account_done(ticket)
+            self._inflight = [
+                t for t in self._inflight if t is not ticket
+            ]
+
+    def submit(
+        self,
+        dataset: str,
+        spec: AuditSpec,
+        tenant: str = "default",
+    ) -> GatewayTicket:
+        """Admit one audit (thread-safe); raises instead of queueing
+        past the bounds.
+
+        Parameters
+        ----------
+        dataset : str
+            Registered dataset name.
+        spec : AuditSpec
+        tenant : str, default "default"
+            Accounting bucket for the per-tenant quota and counters.
+
+        Returns
+        -------
+        GatewayTicket
+
+        Raises
+        ------
+        GatewayDrainingError
+            The gateway is shutting down.
+        GatewayFullError
+            ``queue_size`` audits already in flight.
+        TenantQuotaError
+            This tenant holds ``tenant_quota`` in-flight audits.
+        UnknownDatasetError
+            The dataset name is not registered.
+        """
+        service = self.service(dataset)
+        with self._lock:
+            if self._draining:
+                self._rejected_draining += 1
+                raise GatewayDrainingError(
+                    "gateway is draining; not accepting new audits"
+                )
+            depth = self._reap()
+            if depth >= self.queue_size:
+                self._rejected_full += 1
+                raise GatewayFullError(
+                    f"audit queue full ({depth}/{self.queue_size} "
+                    "in flight); retry after the backlog drains",
+                    retry_after=1.0,
+                )
+            bucket = self._per_tenant.setdefault(
+                tenant,
+                {
+                    "submitted": 0,
+                    "completed": 0,
+                    "errors": 0,
+                    "inflight": 0,
+                },
+            )
+            if (
+                self.tenant_quota is not None
+                and bucket["inflight"] >= self.tenant_quota
+            ):
+                self._rejected_quota += 1
+                raise TenantQuotaError(
+                    f"tenant {tenant!r} holds "
+                    f"{bucket['inflight']}/{self.tenant_quota} "
+                    "in-flight audits",
+                    retry_after=1.0,
+                )
+            ticket_id = f"t-{next(self._ids)}"
+        # Service submission validates the spec outside the gateway
+        # lock (it only takes the service's own lock).
+        try:
+            pending = service.submit(spec)
+        except Exception:
+            raise
+        ticket = GatewayTicket(
+            self, ticket_id, dataset, tenant, pending
+        )
+        with self._lock:
+            self._submitted += 1
+            bucket["submitted"] += 1
+            bucket["inflight"] += 1
+            self._tickets[ticket_id] = ticket
+            self._inflight.append(ticket)
+            self._queue_peak = max(
+                self._queue_peak, len(self._inflight)
+            )
+            # Redeemed tickets stay addressable for the HTTP API;
+            # cap the table so abandoned ids cannot leak forever.
+            while len(self._tickets) > max(4 * self.queue_size, 256):
+                self._tickets.pop(next(iter(self._tickets)))
+        return ticket
+
+    def ticket(self, ticket_id: str) -> GatewayTicket:
+        """Look an admitted ticket up by id (the HTTP handle).
+
+        Raises
+        ------
+        KeyError
+            Unknown (or already expired) ticket id.
+        """
+        with self._lock:
+            ticket = self._tickets.get(ticket_id)
+        if ticket is None:
+            raise KeyError(f"unknown ticket {ticket_id!r}")
+        return ticket
+
+    # -- execution -----------------------------------------------------
+
+    def gather(self, dataset: str | None = None) -> int:
+        """Run every queued spec (of one dataset, or all of them).
+
+        Parameters
+        ----------
+        dataset : str, optional
+            Limit the gather to one dataset's service.
+
+        Returns
+        -------
+        int
+            Reports produced by this call.
+        """
+        if dataset is not None:
+            services = [self.service(dataset)]
+        else:
+            with self._lock:
+                services = list(self._services.values())
+        produced = 0
+        for service in services:
+            produced += len(service.gather())
+        with self._lock:
+            self._reap()
+        return produced
+
+    def run(
+        self,
+        dataset: str,
+        spec: AuditSpec,
+        tenant: str = "default",
+        timeout: float | None = None,
+    ):
+        """Admit one audit and wait for its report.
+
+        Parameters
+        ----------
+        dataset, spec, tenant
+            As in :meth:`submit`.
+        timeout : float, optional
+            As in :meth:`GatewayTicket.result`.
+
+        Returns
+        -------
+        AuditReport
+        """
+        return self.submit(dataset, spec, tenant=tenant).result(
+            timeout=timeout
+        )
+
+    def run_batch(
+        self,
+        dataset: str,
+        specs: Sequence[AuditSpec],
+        tenant: str = "default",
+    ) -> list:
+        """Admit a batch against one dataset and wait for all reports.
+
+        The batch is admitted ticket by ticket (each subject to the
+        queue bound and tenant quota), gathered as one fused service
+        batch, and redeemed in order.
+
+        Parameters
+        ----------
+        dataset : str
+        specs : sequence of AuditSpec
+        tenant : str, default "default"
+
+        Returns
+        -------
+        list of AuditReport
+        """
+        tickets = [
+            self.submit(dataset, spec, tenant=tenant)
+            for spec in specs
+        ]
+        self.gather(dataset)
+        return [ticket.result() for ticket in tickets]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> int:
+        """Stop admitting, finish everything already in flight.
+
+        New :meth:`submit` calls raise :class:`GatewayDrainingError`
+        from this point on; queued audits are gathered and their
+        tickets resolved, so waiting clients get their reports.
+
+        Parameters
+        ----------
+        timeout : float, optional
+            Per-ticket resolution timeout.
+
+        Returns
+        -------
+        int
+            Audits resolved during the drain.
+        """
+        with self._lock:
+            self._draining = True
+            outstanding = list(self._inflight)
+        self.gather()
+        resolved = 0
+        for ticket in outstanding:
+            try:
+                ticket.result(timeout=timeout)
+            except Exception:  # counted via the ticket's settle
+                pass
+            resolved += 1
+        return resolved
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has been called."""
+        with self._lock:
+            return self._draining
+
+    def close(self) -> None:
+        """Drain, then release the registry's shared memory."""
+        self.drain()
+        self.registry.close()
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Gateway counters for dashboards and the load generator.
+
+        Returns
+        -------
+        dict
+            ``submitted`` / ``completed`` / ``errors``, the rejection
+            counters (``rejected_full``, ``rejected_quota``,
+            ``rejected_draining``), ``queue_depth`` / ``queue_peak`` /
+            ``queue_size``, latency aggregates over redeemed audits
+            (``latency_avg_ms`` / ``latency_max_ms``), ``draining``,
+            per-``tenants`` buckets, the ``registry`` stats, and one
+            ``datasets`` entry per active service (its service
+            counters plus ``shard_stats`` utilization).
+        """
+        with self._lock:
+            depth = self._reap()
+            tenants = {
+                name: dict(bucket)
+                for name, bucket in self._per_tenant.items()
+            }
+            services = dict(self._services)
+            avg_ms = (
+                1000.0 * self._latency_total / self._latency_count
+                if self._latency_count
+                else 0.0
+            )
+            out = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "errors": self._errors,
+                "rejected_full": self._rejected_full,
+                "rejected_quota": self._rejected_quota,
+                "rejected_draining": self._rejected_draining,
+                "queue_depth": depth,
+                "queue_peak": self._queue_peak,
+                "queue_size": self.queue_size,
+                "tenant_quota": self.tenant_quota,
+                "latency_avg_ms": round(avg_ms, 3),
+                "latency_max_ms": round(
+                    1000.0 * self._latency_max, 3
+                ),
+                "draining": self._draining,
+                "tenants": tenants,
+            }
+        out["registry"] = self.registry.stats()
+        out["datasets"] = {
+            name: {
+                **service.stats(),
+                "shard_stats": service.session.shard_stats(),
+            }
+            for name, service in services.items()
+        }
+        return out
+
+
+class AsyncAuditGateway:
+    """``asyncio`` face of an :class:`AuditGateway`.
+
+    Wraps a gateway (or builds one from the same keyword arguments)
+    and exposes awaitable submit/result/run/batch/gather/drain —
+    blocking service work runs on the event loop's default executor,
+    so many tenants' audits can be in flight from one coroutine via
+    ``asyncio.gather``.  Admission checks (queue bound, quotas) stay
+    synchronous and immediate: an over-quota ``await submit(...)``
+    raises :class:`GatewayFullError` right away.
+
+    Parameters
+    ----------
+    gateway : AuditGateway, optional
+        Existing gateway to wrap; one is constructed from ``kwargs``
+        when omitted.
+    **kwargs
+        Passed to :class:`AuditGateway` when building one.
+    """
+
+    def __init__(
+        self, gateway: AuditGateway | None = None, **kwargs
+    ):
+        self.gateway = (
+            gateway if gateway is not None else AuditGateway(**kwargs)
+        )
+
+    async def submit(
+        self,
+        dataset: str,
+        spec: AuditSpec,
+        tenant: str = "default",
+    ) -> GatewayTicket:
+        """Admit one audit; immediate, raises like
+        :meth:`AuditGateway.submit`."""
+        return self.gateway.submit(dataset, spec, tenant=tenant)
+
+    async def result(
+        self, ticket: GatewayTicket, timeout: float | None = None
+    ):
+        """Await a ticket's report without blocking the event loop."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: ticket.result(timeout=timeout)
+        )
+
+    async def run(
+        self,
+        dataset: str,
+        spec: AuditSpec,
+        tenant: str = "default",
+    ):
+        """Submit and await one audit's report."""
+        ticket = await self.submit(dataset, spec, tenant=tenant)
+        return await self.result(ticket)
+
+    async def run_batch(
+        self,
+        dataset: str,
+        specs: Sequence[AuditSpec],
+        tenant: str = "default",
+    ) -> list:
+        """Submit a batch and await all its reports (one fused
+        gather on an executor thread)."""
+        import asyncio
+
+        tickets = [
+            await self.submit(dataset, spec, tenant=tenant)
+            for spec in specs
+        ]
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.gateway.gather(dataset)
+        )
+        return [
+            await self.result(ticket) for ticket in tickets
+        ]
+
+    async def gather(self, dataset: str | None = None) -> int:
+        """Awaitable :meth:`AuditGateway.gather`."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.gateway.gather(dataset)
+        )
+
+    async def drain(self) -> int:
+        """Awaitable :meth:`AuditGateway.drain`."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.gateway.drain)
+
+    def stats(self) -> dict:
+        """The wrapped gateway's :meth:`AuditGateway.stats`."""
+        return self.gateway.stats()
+
+
+# -- HTTP front door ---------------------------------------------------
+
+
+def _make_handler(gateway: AuditGateway, quiet: bool):
+    """Build the request-handler class bound to one gateway."""
+    from http.server import BaseHTTPRequestHandler
+
+    class Handler(BaseHTTPRequestHandler):
+        """JSON request handler over one gateway (module-private)."""
+
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):
+            if not quiet:
+                BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+        # -- plumbing --------------------------------------------------
+
+        def _send(self, status: int, payload: dict, headers=None):
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _body(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            data = json.loads(raw.decode("utf-8"))
+            if not isinstance(data, dict):
+                raise ValueError("request body must be a JSON object")
+            return data
+
+        def _fail(self, exc: Exception):
+            if isinstance(exc, GatewayError):
+                headers = {}
+                if isinstance(exc, GatewayFullError):
+                    headers["Retry-After"] = str(
+                        max(1, int(round(exc.retry_after)))
+                    )
+                self._send(
+                    exc.http_status,
+                    {
+                        "error": str(exc),
+                        "type": type(exc).__name__,
+                    },
+                    headers,
+                )
+            elif isinstance(exc, (ValueError, KeyError)):
+                self._send(
+                    400 if isinstance(exc, ValueError) else 404,
+                    {
+                        "error": str(
+                            exc.args[0] if exc.args else exc
+                        ),
+                        "type": type(exc).__name__,
+                    },
+                )
+            else:
+                self._send(
+                    500,
+                    {"error": str(exc), "type": type(exc).__name__},
+                )
+
+        # -- routes ----------------------------------------------------
+
+        def do_GET(self):
+            try:
+                path, _, query = self.path.partition("?")
+                if path == "/stats":
+                    self._send(200, gateway.stats())
+                elif path == "/healthz":
+                    self._send(
+                        200,
+                        {"ok": True, "draining": gateway.draining},
+                    )
+                elif path == "/datasets":
+                    names = sorted(gateway.registry.names())
+                    self._send(
+                        200,
+                        {
+                            "datasets": [
+                                {
+                                    "name": name,
+                                    "fingerprint": gateway.registry
+                                    .get(name).fingerprint,
+                                    "points": len(
+                                        gateway.registry.get(name)
+                                    ),
+                                }
+                                for name in names
+                            ]
+                        },
+                    )
+                elif path.startswith("/tickets/"):
+                    self._ticket(path[len("/tickets/"):], query)
+                else:
+                    self._send(
+                        404, {"error": f"no route {path!r}"}
+                    )
+            except Exception as exc:
+                self._fail(exc)
+
+        def _ticket(self, ticket_id: str, query: str):
+            ticket = gateway.ticket(ticket_id)
+            wait = None
+            for part in query.split("&"):
+                if part.startswith("wait="):
+                    wait = float(part[len("wait="):])
+            if wait == 0 and not ticket.done():
+                self._send(
+                    200, {"ticket": ticket.id, "done": False}
+                )
+                return
+            report = ticket.result(timeout=wait)
+            self._send(
+                200,
+                {
+                    "ticket": ticket.id,
+                    "done": True,
+                    "report": report.to_dict(full=True),
+                },
+            )
+
+        def do_POST(self):
+            try:
+                body = self._body()
+                if self.path == "/audit":
+                    self._audit(body)
+                elif self.path == "/batch":
+                    self._batch(body)
+                elif self.path == "/datasets":
+                    self._register(body)
+                else:
+                    self._send(
+                        404, {"error": f"no route {self.path!r}"}
+                    )
+            except Exception as exc:
+                self._fail(exc)
+
+        def _audit(self, body: dict):
+            spec = AuditSpec.from_dict(body["spec"])
+            ticket = gateway.submit(
+                body["dataset"],
+                spec,
+                tenant=str(body.get("tenant", "default")),
+            )
+            if body.get("wait", True):
+                report = ticket.result(
+                    timeout=body.get("timeout")
+                )
+                self._send(
+                    200,
+                    {
+                        "ticket": ticket.id,
+                        "report": report.to_dict(full=True),
+                    },
+                )
+            else:
+                self._send(
+                    202,
+                    {
+                        "ticket": ticket.id,
+                        "dataset": ticket.dataset,
+                        "tenant": ticket.tenant,
+                    },
+                )
+
+        def _batch(self, body: dict):
+            specs = [
+                AuditSpec.from_dict(s) for s in body["specs"]
+            ]
+            reports = gateway.run_batch(
+                body["dataset"],
+                specs,
+                tenant=str(body.get("tenant", "default")),
+            )
+            self._send(
+                200,
+                {
+                    "reports": [
+                        r.to_dict(full=True) for r in reports
+                    ]
+                },
+            )
+
+        def _register(self, body: dict):
+            dataset = gateway.register(
+                str(body["name"]),
+                np.asarray(body["coords"], dtype=np.float64),
+                np.asarray(body["outcomes"]),
+                y_true=(
+                    None
+                    if body.get("y_true") is None
+                    else np.asarray(body["y_true"])
+                ),
+                forecast=(
+                    None
+                    if body.get("forecast") is None
+                    else np.asarray(
+                        body["forecast"], dtype=np.float64
+                    )
+                ),
+                n_classes=body.get("n_classes"),
+            )
+            self._send(
+                201,
+                {
+                    "name": dataset.name,
+                    "fingerprint": dataset.fingerprint,
+                    "points": len(dataset),
+                },
+            )
+
+    return Handler
+
+
+class GatewayHTTPServer:
+    """Threaded JSON/HTTP front door over an :class:`AuditGateway`.
+
+    Stdlib only (:class:`http.server.ThreadingHTTPServer`): each
+    request runs on its own thread against the thread-safe gateway.
+    Routes:
+
+    ``POST /audit``
+        ``{"dataset", "spec", "tenant"?, "wait"?, "timeout"?}`` —
+        200 with the report when ``wait`` (default), 202 with a
+        ticket id otherwise.  Queue-full and quota rejections return
+        429 with a ``Retry-After`` header; draining returns 503.
+    ``GET /tickets/<id>?wait=<s>``
+        Redeem or poll a ticket (``wait=0`` polls without blocking).
+    ``POST /batch``
+        ``{"dataset", "specs": [...], "tenant"?}`` — all reports,
+        one fused pass.
+    ``POST /datasets`` / ``GET /datasets``
+        Register arrays / list registered names.
+    ``GET /stats``, ``GET /healthz``
+        :meth:`AuditGateway.stats` / liveness.
+
+    >>> import numpy as np
+    >>> gw = AuditGateway(use_shared_memory=False)
+    >>> server = GatewayHTTPServer(gw, port=0)  # ephemeral port
+    >>> server.start()
+    >>> isinstance(server.port, int)
+    True
+    >>> server.stop()
+
+    Parameters
+    ----------
+    gateway : AuditGateway
+    host : str, default "127.0.0.1"
+    port : int, default 8080
+        ``0`` binds an ephemeral port (see :attr:`port` after
+        construction).
+    quiet : bool, default True
+        Suppress per-request access logging.
+    """
+
+    def __init__(
+        self,
+        gateway: AuditGateway,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        quiet: bool = True,
+    ):
+        from http.server import ThreadingHTTPServer
+
+        self.gateway = gateway
+        handler = _make_handler(gateway, quiet)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self.host = self._server.server_address[0]
+        self.port = int(self._server.server_address[1])
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve on a daemon thread (returns immediately)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-gateway-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop`."""
+        self._server.serve_forever()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting connections; optionally drain the gateway.
+
+        Parameters
+        ----------
+        drain : bool, default True
+            Finish in-flight audits (:meth:`AuditGateway.drain`)
+            after the listener closes.
+        """
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if drain:
+            self.gateway.drain()
+
+
+def serve_http(
+    gateway: AuditGateway,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+    ready=None,
+) -> None:
+    """Blocking entry point behind ``python -m repro serve``.
+
+    Boots a :class:`GatewayHTTPServer`, installs SIGTERM/SIGINT
+    handlers, and blocks until a signal arrives — then stops the
+    listener and drains the gateway so in-flight audits finish before
+    the process exits.
+
+    Parameters
+    ----------
+    gateway : AuditGateway
+    host, port, quiet
+        As in :class:`GatewayHTTPServer`.
+    ready : callable, optional
+        Called with the running server once the socket is bound
+        (the CLI prints the listening URL from it).
+    """
+    import signal
+
+    server = GatewayHTTPServer(
+        gateway, host=host, port=port, quiet=quiet
+    )
+    stop = threading.Event()
+
+    def _signalled(signum, frame):
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _signalled)
+    try:
+        server.start()
+        if ready is not None:
+            ready(server)
+        stop.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.stop(drain=True)

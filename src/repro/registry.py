@@ -1,0 +1,428 @@
+"""Multi-dataset registry with shared-memory array storage.
+
+A single :class:`repro.serve.AuditService` binds one dataset.  A
+gateway serving many tenants needs many datasets resident at once —
+and, when membership builds fan out across processes
+(:mod:`repro.tiling`), it needs the arrays visible to workers without
+pickling millions of coordinates per task.  This module provides both:
+
+* :class:`SharedDataset` pins one named dataset's arrays in
+  :mod:`multiprocessing.shared_memory` segments and hands out
+  read-only :class:`numpy.ndarray` views over them — the parent and
+  every forked worker see the same physical pages, zero-copy;
+* :class:`DatasetRegistry` names those datasets, deduplicates storage
+  by content (:func:`repro.fingerprint.dataset_fingerprint` — two
+  names over equal arrays share one set of segments), and builds
+  :class:`repro.api.AuditSession` instances over the shared views on
+  demand.
+
+Fingerprint keying makes the registry safe as a cache: a dataset
+re-registered under the same name with different content gets fresh
+segments and a fresh fingerprint, so
+:class:`~repro.serve.AuditService` report caches (which fold the
+fingerprint into every key) can never serve stale answers.  Views are
+read-only by construction — an accidental in-place mutation through a
+registry view raises instead of silently corrupting every tenant that
+shares the segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+
+import numpy as np
+
+from .api import AuditSession
+from .fingerprint import dataset_fingerprint
+from .tiling import TilingPolicy
+
+__all__ = ["SharedDataset", "DatasetRegistry"]
+
+
+def _share_array(arr: np.ndarray):
+    """Copy one array into a fresh shared-memory segment; returns
+    ``(segment, read-only view)``.  Zero-size arrays still get a
+    (1-byte) segment so close/unlink stays uniform."""
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(arr.nbytes, 1)
+    )
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    view.flags.writeable = False
+    return shm, view
+
+
+class SharedDataset:
+    """One named dataset pinned in shared memory.
+
+    Construction copies each array once into its own
+    :class:`multiprocessing.shared_memory.SharedMemory` segment and
+    exposes read-only views (``coords``, ``outcomes``, ``y_true``,
+    ``forecast``).  Forked workers inherit the mapped segments, so a
+    tiled membership build or a fused null pass touches the data
+    zero-copy.  With ``use_shared_memory=False`` the arrays are plain
+    private copies (same read-only discipline, no segments) — the
+    fallback for platforms where shared memory is unavailable.
+
+    Parameters
+    ----------
+    name : str
+        The registry name this dataset was registered under.
+    coords, outcomes, y_true, forecast, n_classes
+        As in :class:`repro.api.AuditSession`.
+    use_shared_memory : bool, default True
+        Back the arrays with shared-memory segments.
+
+    Attributes
+    ----------
+    name : str
+    fingerprint : str
+        :func:`repro.fingerprint.dataset_fingerprint` of the stored
+        content — the registry's storage-dedup and cache key.
+    coords, outcomes, y_true, forecast
+        Read-only array views over the stored content.
+    n_classes : int or None
+    """
+
+    def __init__(
+        self,
+        name: str,
+        coords,
+        outcomes,
+        y_true=None,
+        forecast=None,
+        n_classes: int | None = None,
+        use_shared_memory: bool = True,
+    ):
+        self.name = str(name)
+        self.n_classes = (
+            None if n_classes is None else int(n_classes)
+        )
+        self._segments: list = []
+        self._closed = False
+        arrays = {
+            "coords": np.asarray(coords, dtype=np.float64),
+            "outcomes": np.asarray(outcomes),
+            "y_true": None if y_true is None else np.asarray(y_true),
+            "forecast": (
+                None
+                if forecast is None
+                else np.asarray(forecast, dtype=np.float64)
+            ),
+        }
+        if arrays["coords"].ndim != 2 or arrays["coords"].shape[1] != 2:
+            raise ValueError(
+                "coords: expected an (n, 2) array, got shape "
+                f"{arrays['coords'].shape}"
+            )
+        for field, arr in arrays.items():
+            if arr is None:
+                setattr(self, field, None)
+                continue
+            if use_shared_memory:
+                shm, view = _share_array(arr)
+                self._segments.append(shm)
+            else:
+                view = arr.copy()
+                view.flags.writeable = False
+            setattr(self, field, view)
+        self.fingerprint = dataset_fingerprint(
+            self.coords,
+            self.outcomes,
+            y_true=self.y_true,
+            forecast=self.forecast,
+            n_classes=self.n_classes,
+        )
+
+    def __len__(self) -> int:
+        """Number of observations in the dataset."""
+        return len(self.coords)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across the stored arrays."""
+        return sum(
+            arr.nbytes
+            for arr in (
+                self.coords,
+                self.outcomes,
+                self.y_true,
+                self.forecast,
+            )
+            if arr is not None
+        )
+
+    @property
+    def shared(self) -> bool:
+        """Whether the arrays live in shared-memory segments."""
+        return bool(self._segments)
+
+    def session(
+        self,
+        workers: int | None = None,
+        tiling: TilingPolicy | None = None,
+    ) -> AuditSession:
+        """A fresh :class:`repro.api.AuditSession` over the stored
+        views (no array copies).
+
+        Parameters
+        ----------
+        workers : int, optional
+            Session default worker count for null simulation.
+        tiling : TilingPolicy, optional
+            Shard membership builds (:mod:`repro.tiling`).
+
+        Returns
+        -------
+        AuditSession
+        """
+        if self._closed:
+            raise ValueError(
+                f"dataset {self.name!r}: shared memory already closed"
+            )
+        return AuditSession(
+            self.coords,
+            self.outcomes,
+            y_true=self.y_true,
+            forecast=self.forecast,
+            n_classes=self.n_classes,
+            workers=workers,
+            tiling=tiling,
+        )
+
+    def close(self) -> None:
+        """Release the shared-memory segments (idempotent).
+
+        Views handed out earlier become invalid; sessions hold their
+        own references to the views, so close only after their
+        service has drained.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Drop the numpy views first so the buffers are unreferenced.
+        self.coords = self.outcomes = None
+        self.y_true = self.forecast = None
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # already gone
+                pass
+        self._segments = []
+
+
+class DatasetRegistry:
+    """Named, content-deduplicated store of audit datasets.
+
+    The registry is the gateway's data plane: tenants refer to
+    datasets by name, the registry stores each distinct content
+    (keyed by :func:`repro.fingerprint.dataset_fingerprint`) exactly
+    once in shared memory, and hands out
+    :class:`repro.api.AuditSession` views on demand.  All methods are
+    thread-safe.
+
+    >>> import numpy as np
+    >>> reg = DatasetRegistry(use_shared_memory=False)
+    >>> rng = np.random.default_rng(0)
+    >>> ds = reg.register("a", rng.random((10, 2)), np.ones(10))
+    >>> reg.register("b", ds.coords, ds.outcomes) is ds  # dedup
+    True
+    >>> sorted(reg.names())
+    ['a', 'b']
+    >>> reg.close()
+
+    Parameters
+    ----------
+    use_shared_memory : bool, default True
+        Back stored arrays with :mod:`multiprocessing.shared_memory`
+        segments (zero-copy across forked workers).  ``False`` keeps
+        private read-only copies instead.
+    """
+
+    def __init__(self, use_shared_memory: bool = True):
+        self.use_shared_memory = bool(use_shared_memory)
+        self._by_name: dict = {}
+        self._by_print: dict = {}
+        self._lock = threading.Lock()
+        self._registered = 0
+        self._deduped = 0
+        atexit.register(self.close)
+
+    def register(
+        self,
+        name: str,
+        coords,
+        outcomes,
+        y_true=None,
+        forecast=None,
+        n_classes: int | None = None,
+    ) -> SharedDataset:
+        """Store a dataset under ``name`` (thread-safe).
+
+        Content equal to an already-stored dataset (same
+        fingerprint) shares its segments instead of copying again;
+        re-registering an existing name points it at the new content
+        (the old content's segments are released once no name refers
+        to them).
+
+        Parameters
+        ----------
+        name : str
+        coords, outcomes, y_true, forecast, n_classes
+            As in :class:`repro.api.AuditSession`.
+
+        Returns
+        -------
+        SharedDataset
+        """
+        fingerprint = dataset_fingerprint(
+            np.asarray(coords, dtype=np.float64),
+            np.asarray(outcomes),
+            y_true=None if y_true is None else np.asarray(y_true),
+            forecast=(
+                None
+                if forecast is None
+                else np.asarray(forecast, dtype=np.float64)
+            ),
+            n_classes=None if n_classes is None else int(n_classes),
+        )
+        with self._lock:
+            dataset = self._by_print.get(fingerprint)
+            if dataset is None:
+                dataset = SharedDataset(
+                    name,
+                    coords,
+                    outcomes,
+                    y_true=y_true,
+                    forecast=forecast,
+                    n_classes=n_classes,
+                    use_shared_memory=self.use_shared_memory,
+                )
+                self._by_print[fingerprint] = dataset
+            else:
+                self._deduped += 1
+            previous = self._by_name.get(name)
+            self._by_name[str(name)] = dataset
+            self._registered += 1
+            if previous is not None and previous is not dataset:
+                self._release_if_orphaned(previous)
+        return dataset
+
+    def _release_if_orphaned(self, dataset: SharedDataset) -> None:
+        """Close a dataset no name refers to any more; caller holds
+        the lock."""
+        if dataset not in self._by_name.values():
+            self._by_print.pop(dataset.fingerprint, None)
+            dataset.close()
+
+    def get(self, name: str) -> SharedDataset:
+        """The dataset registered under ``name``.
+
+        Raises
+        ------
+        KeyError
+            Unknown name (the message lists the known ones).
+        """
+        with self._lock:
+            dataset = self._by_name.get(name)
+        if dataset is None:
+            known = ", ".join(sorted(self._by_name)) or "(none)"
+            raise KeyError(
+                f"unknown dataset {name!r}; registered: {known}"
+            )
+        return dataset
+
+    def by_fingerprint(self, fingerprint: str) -> SharedDataset | None:
+        """The dataset with this content fingerprint, or ``None``."""
+        with self._lock:
+            return self._by_print.get(fingerprint)
+
+    def names(self) -> list:
+        """Registered dataset names (unsorted)."""
+        with self._lock:
+            return list(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        """Whether ``name`` is registered."""
+        with self._lock:
+            return name in self._by_name
+
+    def __len__(self) -> int:
+        """Number of registered names (shared content counts once
+        per name)."""
+        with self._lock:
+            return len(self._by_name)
+
+    def session(
+        self,
+        name: str,
+        workers: int | None = None,
+        tiling: TilingPolicy | None = None,
+    ) -> AuditSession:
+        """A fresh session over the named dataset's shared views.
+
+        Parameters
+        ----------
+        name : str
+        workers, tiling
+            As in :meth:`SharedDataset.session`.
+
+        Returns
+        -------
+        AuditSession
+        """
+        return self.get(name).session(workers=workers, tiling=tiling)
+
+    def remove(self, name: str) -> bool:
+        """Forget ``name``; release its storage when no other name
+        shares the content.
+
+        Returns
+        -------
+        bool
+            Whether the name was registered.
+        """
+        with self._lock:
+            dataset = self._by_name.pop(name, None)
+            if dataset is None:
+                return False
+            self._release_if_orphaned(dataset)
+            return True
+
+    def stats(self) -> dict:
+        """Registry counters (for the gateway's ``stats()``).
+
+        Returns
+        -------
+        dict
+            ``datasets`` (names), ``unique`` (distinct contents),
+            ``points`` / ``bytes`` totals over the distinct contents,
+            ``registered`` / ``deduped`` registration counters and
+            ``shared_memory``.
+        """
+        with self._lock:
+            unique = list(self._by_print.values())
+            return {
+                "datasets": len(self._by_name),
+                "unique": len(unique),
+                "points": sum(len(d) for d in unique),
+                "bytes": sum(d.nbytes for d in unique),
+                "registered": self._registered,
+                "deduped": self._deduped,
+                "shared_memory": self.use_shared_memory,
+            }
+
+    def close(self) -> None:
+        """Release every dataset's segments (idempotent; also runs
+        at interpreter exit)."""
+        with self._lock:
+            datasets = list(self._by_print.values())
+            self._by_name.clear()
+            self._by_print.clear()
+        for dataset in datasets:
+            dataset.close()

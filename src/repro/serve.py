@@ -228,6 +228,7 @@ class AuditService:
         self._watched: list = []
         self._stream_cache: dict = {}
         self._stream_lock = threading.Lock()
+        self._n_watched = 0
         self._advances = 0
         self._stream_runs = 0
         self._stream_skips = 0
@@ -449,12 +450,19 @@ class AuditService:
                     tickets, self._report_key(resolved.spec), error=exc
                 )
             return
-        self._fused_groups += 1
+        # One critical section for the whole group's accounting, so a
+        # concurrent stats() can never see the group counted with its
+        # specs (or worlds) still missing.
+        with self._lock:
+            self._fused_groups += 1
+            for tickets, resolved in members:
+                self._fused_specs += len(tickets)
+                self._worlds_requested += (
+                    resolved.spec.n_worlds * len(tickets)
+                )
         for (tickets, resolved), null_max in zip(members, nulls):
             spec = resolved.spec
             key = self._report_key(spec)
-            self._fused_specs += len(tickets)
-            self._worlds_requested += spec.n_worlds * len(tickets)
             try:
                 report = self.session.run(spec, null_max=null_max)
             except Exception as exc:
@@ -511,6 +519,8 @@ class AuditService:
                 if spec.spec_hash() not in known:
                     known.add(spec.spec_hash())
                     self._watched.append(spec)
+            with self._lock:
+                self._n_watched = len(self._watched)
             return len(self._watched)
 
     def unwatch(self, spec: AuditSpec | None = None) -> int:
@@ -530,6 +540,8 @@ class AuditService:
                 removed = len(self._watched)
                 self._watched.clear()
                 self._stream_cache.clear()
+                with self._lock:
+                    self._n_watched = 0
                 return removed
             target = spec.spec_hash()
             before = len(self._watched)
@@ -537,6 +549,8 @@ class AuditService:
                 s for s in self._watched if s.spec_hash() != target
             ]
             self._stream_cache.pop(target, None)
+            with self._lock:
+                self._n_watched = len(self._watched)
             return before - len(self._watched)
 
     def watched(self) -> list:
@@ -629,7 +643,8 @@ class AuditService:
             One report per watched spec, in registration order.
         """
         with self._stream_lock:
-            self._advances += 1
+            with self._lock:
+                self._advances += 1
             if coords is not None:
                 if outcomes is None:
                     raise ValueError(
@@ -672,11 +687,13 @@ class AuditService:
                     else self._stream_cache.get(spec.spec_hash())
                 )
                 if entry is not None and entry[0] == key:
-                    self._stream_skips += 1
+                    with self._lock:
+                        self._stream_skips += 1
                 else:
                     to_run.append(spec)
             reports = self.run_batch(to_run) if to_run else []
-            self._stream_runs += len(to_run)
+            with self._lock:
+                self._stream_runs += len(to_run)
             fresh = dict(zip((s.spec_hash() for s in to_run), reports))
             out = []
             for spec, key in zip(specs, keys):
@@ -725,6 +742,12 @@ class AuditService:
     def stats(self) -> dict:
         """Service counters, for dashboards and benchmark assertions.
 
+        The snapshot is consistent: every counter is read — and, on
+        the hot paths, written — under the service lock, so a reading
+        thread can never observe a torn view (e.g. ``fused_specs``
+        ahead of ``fused_groups``) while a gather or advance runs on
+        another thread.
+
         Returns
         -------
         dict
@@ -755,7 +778,7 @@ class AuditService:
                 "report_cache_size": len(self._cache),
                 "index_builds": self.session.index_builds,
                 "incremental_builds": self.session.incremental_builds,
-                "watched": len(self._watched),
+                "watched": self._n_watched,
                 "advances": self._advances,
                 "stream_runs": self._stream_runs,
                 "stream_skips": self._stream_skips,

@@ -1,0 +1,361 @@
+"""Spatial tiling: shard huge point sets across parallel workers.
+
+A membership build (:class:`repro.index.RegionMembership`) is the one
+audit cost that scales with the *point* count rather than the world
+budget: every region runs a kd-tree query over all ``n`` points.  For
+the "millions of users" datasets the gateway serves, this module
+shards that work spatially:
+
+* :func:`tile_ids` buckets the points into an ``nx x ny`` grid of
+  bounding-box tiles (border-clamped, so every point lands in a tile);
+* :func:`tiled_membership` builds one :class:`RegionMembership` **per
+  tile** — each over only its tile's points, optionally on a forked
+  process pool — and merges the per-tile CSR blocks back into one
+  canonical matrix;
+* :class:`TilingPolicy` is the frozen deployment knob
+  (:class:`repro.api.AuditSession` and
+  :class:`repro.engine.MonteCarloEngine` accept ``tiling=``), and
+  :class:`TileStats` reports per-build shard utilization.
+
+Determinism contract
+--------------------
+Tiling is a pure execution strategy: the merged matrix is
+**byte-identical** to a cold single-process
+:class:`~repro.index.RegionMembership` build over the same arrays —
+same CSR ``indices``/``indptr``/``data`` bytes, for any tile grid and
+any worker count.  The merge restores each point's original column
+through a column permutation (the ``evict_points`` CSR idiom) and
+re-sorts rows into the canonical layout, so floating-point
+accumulation order in every downstream ``M @ worlds`` recount is
+unchanged.  Because the engine's SeedSequence-per-chunk streams never
+depend on how the membership was built, every audit report — fixed or
+adaptive budget, cold or streamed — is bit-identical at any tile
+count (asserted in ``tests/test_tiling.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import GridPartitioning, Rect, RegionSet
+from .index import RegionMembership
+
+__all__ = [
+    "TilingPolicy",
+    "TileStats",
+    "tile_ids",
+    "tiled_membership",
+]
+
+
+@dataclass(frozen=True)
+class TilingPolicy:
+    """How a session shards membership builds across spatial tiles.
+
+    A policy is a pure performance knob: results are bit-identical
+    with and without it, at any tile grid and worker count (see the
+    module docstring).  Attach it per session
+    (``AuditSession(..., tiling=policy)``) or per engine
+    (``MonteCarloEngine(..., tiling=policy)``).
+
+    Parameters
+    ----------
+    nx, ny : int, default 2
+        Tile grid: the dataset's bounding box splits into ``nx x ny``
+        bounding-box tiles.
+    workers : int, optional
+        Process count for the per-tile builds; ``None`` or ``1``
+        builds the tiles serially in-process.  ``>= 2`` forks a pool
+        (POSIX; other platforms fall back to serial) — the tile
+        coordinates reach the workers zero-copy through fork
+        copy-on-write (or shared memory, when the arrays live in a
+        :class:`repro.registry.DatasetRegistry`).
+    min_points : int, default 0
+        Datasets smaller than this build untiled — tiling only pays
+        off once the kd-tree pass dominates.
+    """
+
+    nx: int = 2
+    ny: int = 2
+    workers: int | None = None
+    min_points: int = 0
+
+    def __post_init__(self):
+        for field in ("nx", "ny"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    f"tiling.{field}: expected an int >= 1, got "
+                    f"{value!r}"
+                )
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise ValueError(
+                "tiling.workers: expected None or an int >= 1, got "
+                f"{self.workers!r}"
+            )
+        if not isinstance(self.min_points, int) or self.min_points < 0:
+            raise ValueError(
+                "tiling.min_points: expected an int >= 0, got "
+                f"{self.min_points!r}"
+            )
+
+    @property
+    def n_tiles(self) -> int:
+        """Total tile count, ``nx * ny``."""
+        return self.nx * self.ny
+
+    def to_dict(self) -> dict:
+        """The policy as plain JSON types (for ``stats()`` payloads)."""
+        return {
+            "nx": self.nx,
+            "ny": self.ny,
+            "workers": self.workers,
+            "min_points": self.min_points,
+        }
+
+
+@dataclass(frozen=True)
+class TileStats:
+    """Shard utilization of one tiled membership build.
+
+    Attributes
+    ----------
+    n_tiles : int
+        Tiles in the grid (``policy.nx * policy.ny``).
+    workers : int
+        Processes the tile builds actually ran on (1 = serial).
+    tile_points : tuple of int
+        Points per tile, in row-major tile order (zeros included).
+    """
+
+    n_tiles: int
+    workers: int
+    tile_points: tuple
+
+    @property
+    def nonempty_tiles(self) -> int:
+        """Tiles holding at least one point."""
+        return int(sum(1 for c in self.tile_points if c))
+
+    @property
+    def balance(self) -> float:
+        """Min/max points over the nonempty tiles (1.0 = perfectly
+        balanced; 0.0 when no tile holds a point)."""
+        busy = [c for c in self.tile_points if c]
+        if not busy:
+            return 0.0
+        return float(min(busy)) / float(max(busy))
+
+    def to_dict(self) -> dict:
+        """The stats as plain JSON types (for ``stats()`` payloads)."""
+        return {
+            "n_tiles": self.n_tiles,
+            "workers": self.workers,
+            "nonempty_tiles": self.nonempty_tiles,
+            "points_min": int(min(self.tile_points)),
+            "points_max": int(max(self.tile_points)),
+            "balance": round(self.balance, 4),
+        }
+
+
+def tile_ids(
+    coords: np.ndarray,
+    nx: int,
+    ny: int,
+    bounds: Rect | None = None,
+) -> np.ndarray:
+    """Assign every point to a bounding-box tile (row-major flat ids).
+
+    Tiles partition ``bounds`` (default: the points' own bounding box)
+    into a regular ``nx x ny`` grid; points on or outside the border
+    are clamped into the edge tiles, so every point receives a valid
+    tile.  The assignment is a pure function of the inputs —
+    deterministic across processes and platforms.
+
+    Parameters
+    ----------
+    coords : ndarray of shape (n, 2)
+    nx, ny : int
+        Tiles along x and y.
+    bounds : Rect, optional
+        The area to tile; defaults to ``Rect.bounding(coords)``.
+
+    Returns
+    -------
+    ndarray of int64, shape (n,)
+        Flat tile ids in ``[0, nx * ny)``.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if len(coords) == 0:
+        return np.empty(0, dtype=np.int64)
+    if bounds is None:
+        bounds = Rect.bounding(coords)
+    grid = GridPartitioning.regular(bounds, int(nx), int(ny))
+    return grid.cell_ids(coords)
+
+
+# Read-only state the forked tile builders inherit copy-on-write; only
+# populated in the parent immediately before the fork (under
+# _TILE_LOCK) and never mutated by workers.
+_TILE_STATE: dict = {}
+_TILE_LOCK = threading.Lock()
+
+
+def _build_tile(tile: int) -> tuple:
+    """Build one tile's membership inside a forked pool worker; ships
+    back only the tile's CSR structure (its data is all ones)."""
+    regions = _TILE_STATE["regions"]
+    coords = _TILE_STATE["coords"]
+    order = _TILE_STATE["order"]
+    start, end = _TILE_STATE["spans"][tile]
+    member = RegionMembership(regions, coords[order[start:end]])
+    matrix = member._matrix
+    return tile, matrix.indices, matrix.indptr
+
+
+def _tile_spans(ids: np.ndarray, n_tiles: int):
+    """Stable tile grouping: the permutation that sorts points by tile
+    (original order preserved within each tile) and each tile's
+    half-open span in it."""
+    order = np.argsort(ids, kind="stable").astype(np.int64)
+    counts = np.bincount(ids, minlength=n_tiles).astype(np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    spans = [
+        (int(offsets[t]), int(offsets[t + 1])) for t in range(n_tiles)
+    ]
+    return order, counts, spans
+
+
+def tiled_membership(
+    regions: RegionSet,
+    coords: np.ndarray,
+    policy: TilingPolicy,
+    bounds: Rect | None = None,
+) -> tuple:
+    """Build a membership matrix tile by tile and merge the shards.
+
+    Each tile's points (original order preserved) get their own
+    :class:`repro.index.RegionMembership` — built serially or on a
+    forked process pool (``policy.workers``) — and the per-tile CSR
+    blocks are merged back into one matrix: ``hstack`` over the tile
+    blocks, a column permutation restoring every point's original
+    index (the ``evict_points`` column-selection idiom), and a
+    canonical row sort.  The result is **byte-identical** to a cold
+    ``RegionMembership(regions, coords)`` build (asserted in
+    ``tests/test_tiling.py``), so everything downstream — null
+    simulation, verdicts, streamed updates — is unchanged by tiling.
+
+    Parameters
+    ----------
+    regions : RegionSet
+        Candidate regions (shared by every tile).
+    coords : ndarray of shape (n, 2)
+        Observation locations.
+    policy : TilingPolicy
+        Tile grid and worker count.
+    bounds : Rect, optional
+        Tiling bounds override (defaults to the points' bounding box).
+
+    Returns
+    -------
+    (RegionMembership, TileStats)
+        The merged index and the build's shard-utilization stats.
+    """
+    from scipy import sparse
+
+    coords = np.asarray(coords, dtype=np.float64)
+    n = len(coords)
+    n_tiles = policy.n_tiles
+    if n == 0 or n_tiles == 1:
+        member = RegionMembership(regions, coords)
+        stats = TileStats(
+            n_tiles=1, workers=1, tile_points=(n,)
+        )
+        return member, stats
+
+    ids = tile_ids(coords, policy.nx, policy.ny, bounds=bounds)
+    order, counts, spans = _tile_spans(ids, n_tiles)
+    busy = [t for t in range(n_tiles) if counts[t]]
+
+    workers = int(policy.workers or 1)
+    n_procs = min(workers, len(busy))
+    if n_procs >= 2 and hasattr(os, "fork"):
+        blocks = _build_tiles_parallel(
+            regions, coords, order, spans, busy, n_procs
+        )
+    else:
+        n_procs = 1
+        blocks = {}
+        for t in busy:
+            start, end = spans[t]
+            blocks[t] = RegionMembership(
+                regions, coords[order[start:end]]
+            )._matrix
+
+    # Merge: tile blocks in tile order hold columns in tile-grouped
+    # order; the inverse permutation hands every point its original
+    # column back, and the canonical row sort makes the bytes equal a
+    # cold build's.
+    merged = (
+        sparse.hstack([blocks[t] for t in busy], format="csr")
+        if len(busy) > 1
+        else blocks[busy[0]]
+    )
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.arange(n, dtype=np.int64)
+    matrix = merged[:, inverse].tocsr()
+    matrix.sort_indices()
+    member = RegionMembership._from_matrix(regions, matrix)
+    stats = TileStats(
+        n_tiles=n_tiles,
+        workers=n_procs,
+        tile_points=tuple(int(c) for c in counts),
+    )
+    return member, stats
+
+
+def _build_tiles_parallel(
+    regions: RegionSet,
+    coords: np.ndarray,
+    order: np.ndarray,
+    spans: list,
+    busy: list,
+    n_procs: int,
+) -> dict:
+    """Fork a pool and build the nonempty tiles' CSR blocks in
+    parallel; the inputs reach the workers zero-copy (fork COW or the
+    registry's shared-memory segments)."""
+    import multiprocessing
+
+    from scipy import sparse
+
+    ctx = multiprocessing.get_context("fork")
+    blocks: dict = {}
+    with _TILE_LOCK:
+        _TILE_STATE["regions"] = regions
+        _TILE_STATE["coords"] = coords
+        _TILE_STATE["order"] = order
+        _TILE_STATE["spans"] = spans
+        try:
+            with ctx.Pool(processes=n_procs) as pool:
+                for t, indices, indptr in pool.imap_unordered(
+                    _build_tile, busy
+                ):
+                    start, end = spans[t]
+                    blocks[t] = sparse.csr_matrix(
+                        (
+                            np.ones(len(indices), dtype=np.float64),
+                            indices,
+                            indptr,
+                        ),
+                        shape=(len(regions), end - start),
+                    )
+        finally:
+            _TILE_STATE.clear()
+    return blocks

@@ -1,0 +1,281 @@
+"""Tiled membership builds: sharding must be invisible in the bytes.
+
+The load-bearing property is the determinism contract of
+:mod:`repro.tiling`: a membership matrix assembled from per-tile
+shards — any tile grid, any worker count — is byte-identical to a
+cold single-process build, and therefore every downstream audit
+report is bit-identical too, across all three families, fixed and
+adaptive budgets, and streaming advances.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import AuditSession
+from repro.geometry import Rect
+from repro.index import RegionMembership
+from repro.spec import AuditSpec, RegionSpec
+from repro.tiling import TilingPolicy, TileStats, tile_ids, tiled_membership
+
+from .conftest import N_WORLDS
+
+#: Tile grids exercised by the bit-identity sweeps: single tile,
+#: square, ragged, and many-tiles-with-empties.
+TILE_GRIDS = [(1, 1), (2, 2), (3, 1), (4, 4)]
+
+#: Worker counts exercised alongside (serial and forked pool).
+WORKER_COUNTS = [None, 2]
+
+
+def _report_bytes(report) -> str:
+    return json.dumps(report.to_dict(full=True), sort_keys=True)
+
+
+class TestTilingPolicy:
+    def test_defaults_and_n_tiles(self):
+        policy = TilingPolicy()
+        assert (policy.nx, policy.ny) == (2, 2)
+        assert policy.n_tiles == 4
+        assert TilingPolicy(3, 5).n_tiles == 15
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2"])
+    def test_rejects_bad_grid(self, bad):
+        with pytest.raises(ValueError, match="tiling.nx"):
+            TilingPolicy(nx=bad)
+        with pytest.raises(ValueError, match="tiling.ny"):
+            TilingPolicy(ny=bad)
+
+    def test_rejects_bad_workers_and_min_points(self):
+        with pytest.raises(ValueError, match="tiling.workers"):
+            TilingPolicy(workers=0)
+        with pytest.raises(ValueError, match="tiling.min_points"):
+            TilingPolicy(min_points=-1)
+
+    def test_to_dict_round_trips_json(self):
+        policy = TilingPolicy(3, 2, workers=4, min_points=100)
+        assert json.loads(json.dumps(policy.to_dict())) == {
+            "nx": 3,
+            "ny": 2,
+            "workers": 4,
+            "min_points": 100,
+        }
+
+
+class TestTileStats:
+    def test_balance_and_nonempty(self):
+        stats = TileStats(n_tiles=4, workers=2, tile_points=(10, 0, 5, 20))
+        assert stats.nonempty_tiles == 3
+        assert stats.balance == pytest.approx(0.25)
+        payload = stats.to_dict()
+        assert payload["points_min"] == 0
+        assert payload["points_max"] == 20
+
+    def test_all_empty_balance_is_zero(self):
+        assert TileStats(2, 1, (0, 0)).balance == 0.0
+
+
+class TestTileIds:
+    def test_every_point_gets_a_valid_tile(self, unit_coords):
+        ids = tile_ids(unit_coords, 3, 4)
+        assert ids.dtype == np.int64
+        assert ids.min() >= 0 and ids.max() < 12
+
+    def test_empty_input(self):
+        assert len(tile_ids(np.empty((0, 2)), 2, 2)) == 0
+
+    def test_border_points_clamp_into_edge_tiles(self):
+        coords = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        ids = tile_ids(coords, 2, 2, bounds=Rect(0, 0, 1, 1))
+        assert ids[0] == 0
+        assert ids[1] == 3 and ids[2] == 3  # clamped outside point
+
+    def test_deterministic(self, unit_coords):
+        a = tile_ids(unit_coords, 4, 4)
+        b = tile_ids(unit_coords.copy(), 4, 4)
+        assert np.array_equal(a, b)
+
+
+class TestMatrixBitIdentity:
+    @pytest.mark.parametrize("grid", TILE_GRIDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_merged_csr_equals_cold_build(
+        self, unit_coords, unit_regions, grid, workers
+    ):
+        cold = RegionMembership(unit_regions, unit_coords)
+        policy = TilingPolicy(*grid, workers=workers)
+        member, stats = tiled_membership(
+            unit_regions, unit_coords, policy
+        )
+        for attr in ("indices", "indptr", "data"):
+            assert (
+                getattr(member._matrix, attr).tobytes()
+                == getattr(cold._matrix, attr).tobytes()
+            )
+        assert np.array_equal(member.counts, cold.counts)
+        assert stats.n_tiles == policy.n_tiles
+        assert sum(stats.tile_points) == len(unit_coords)
+
+    def test_clustered_points_leave_tiles_empty(self, unit_regions):
+        rng = np.random.default_rng(7)
+        coords = rng.random((200, 2)) * 0.2  # all in one corner
+        coords[0] = [0.95, 0.95]  # stretch the bbox
+        cold = RegionMembership(unit_regions, coords)
+        member, stats = tiled_membership(
+            unit_regions, coords, TilingPolicy(4, 4, workers=2)
+        )
+        assert stats.nonempty_tiles < stats.n_tiles
+        assert (
+            member._matrix.indices.tobytes()
+            == cold._matrix.indices.tobytes()
+        )
+
+    def test_empty_dataset(self, unit_regions):
+        member, stats = tiled_membership(
+            unit_regions, np.empty((0, 2)), TilingPolicy(3, 3)
+        )
+        assert member.n_points == 0
+        assert stats.tile_points == (0,)
+
+
+class TestSessionBitIdentity:
+    @pytest.mark.parametrize("grid", [(2, 2), (3, 1)])
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bernoulli_reports_identical(
+        self, unit_coords, biased_labels, grid, workers
+    ):
+        spec = AuditSpec(
+            regions=RegionSpec.grid(5, 5), n_worlds=N_WORLDS, seed=11
+        )
+        plain = AuditSession(unit_coords, biased_labels).run(spec)
+        tiled = AuditSession(
+            unit_coords,
+            biased_labels,
+            tiling=TilingPolicy(*grid, workers=workers),
+        ).run(spec)
+        assert _report_bytes(tiled) == _report_bytes(plain)
+
+    def test_poisson_reports_identical(self, unit_coords, biased_counts):
+        observed, forecast = biased_counts
+        spec = AuditSpec(
+            regions=RegionSpec.grid(4, 4),
+            family="poisson",
+            n_worlds=N_WORLDS,
+            seed=5,
+        )
+        plain = AuditSession(
+            unit_coords, observed, forecast=forecast
+        ).run(spec)
+        tiled = AuditSession(
+            unit_coords,
+            observed,
+            forecast=forecast,
+            tiling=TilingPolicy(3, 3, workers=2),
+        ).run(spec)
+        assert _report_bytes(tiled) == _report_bytes(plain)
+
+    def test_multinomial_reports_identical(
+        self, unit_coords, biased_classes
+    ):
+        spec = AuditSpec(
+            regions=RegionSpec.grid(4, 4),
+            family="multinomial",
+            n_worlds=N_WORLDS,
+            seed=5,
+        )
+        plain = AuditSession(unit_coords, biased_classes).run(spec)
+        tiled = AuditSession(
+            unit_coords,
+            biased_classes,
+            tiling=TilingPolicy(2, 3, workers=2),
+        ).run(spec)
+        assert _report_bytes(tiled) == _report_bytes(plain)
+
+    def test_adaptive_budget_identical(self, unit_coords, biased_labels):
+        spec = AuditSpec(
+            regions=RegionSpec.grid(5, 5),
+            n_worlds=N_WORLDS,
+            seed=2,
+            budget="adaptive",
+        )
+        plain = AuditSession(unit_coords, biased_labels).run(spec)
+        tiled = AuditSession(
+            unit_coords,
+            biased_labels,
+            tiling=TilingPolicy(4, 4, workers=2),
+        ).run(spec)
+        assert _report_bytes(tiled) == _report_bytes(plain)
+
+    def test_streaming_advance_identical(
+        self, unit_coords, biased_labels
+    ):
+        from repro.serve import AuditService
+
+        spec = AuditSpec(
+            regions=RegionSpec.grid(4, 4), n_worlds=N_WORLDS, seed=9
+        )
+        half = len(unit_coords) // 2
+        plain = AuditService(
+            AuditSession(unit_coords[:half], biased_labels[:half])
+        )
+        tiled = AuditService(
+            AuditSession(
+                unit_coords[:half],
+                biased_labels[:half],
+                tiling=TilingPolicy(2, 2),
+            )
+        )
+        for service in (plain, tiled):
+            service.watch(spec)
+        for lo, hi in ((half, half + 100), (half + 100, len(unit_coords))):
+            a = plain.advance(unit_coords[lo:hi], biased_labels[lo:hi])
+            b = tiled.advance(unit_coords[lo:hi], biased_labels[lo:hi])
+            assert _report_bytes(b[0]) == _report_bytes(a[0])
+
+
+class TestEngineIntegration:
+    def test_min_points_gates_tiling(self, unit_coords, biased_labels):
+        session = AuditSession(
+            unit_coords,
+            biased_labels,
+            tiling=TilingPolicy(2, 2, min_points=10**6),
+        )
+        session.run(
+            AuditSpec(
+                regions=RegionSpec.grid(3, 3),
+                n_worlds=N_WORLDS,
+                seed=1,
+            )
+        )
+        assert session.tiled_builds == 0
+        assert session.shard_stats()["last_build"] is None
+
+    def test_shard_stats_reflect_last_build(
+        self, unit_coords, biased_labels
+    ):
+        policy = TilingPolicy(3, 3)
+        session = AuditSession(
+            unit_coords, biased_labels, tiling=policy
+        )
+        session.run(
+            AuditSpec(
+                regions=RegionSpec.grid(3, 3),
+                n_worlds=N_WORLDS,
+                seed=1,
+            )
+        )
+        stats = session.shard_stats()
+        assert stats["tiling"] == policy.to_dict()
+        assert stats["tiled_builds"] == session.tiled_builds >= 1
+        assert stats["last_build"]["n_tiles"] == 9
+
+    def test_untiled_session_reports_none(
+        self, unit_coords, biased_labels
+    ):
+        session = AuditSession(unit_coords, biased_labels)
+        assert session.shard_stats() == {
+            "tiling": None,
+            "tiled_builds": 0,
+            "last_build": None,
+        }

@@ -31,6 +31,9 @@ MODULES = [
     "repro",
     "repro.api",
     "repro.serve",
+    "repro.gateway",
+    "repro.registry",
+    "repro.tiling",
     "repro.spec",
     "repro.core",
     "repro.engine",

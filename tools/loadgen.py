@@ -1,0 +1,249 @@
+"""HTTP load generator for the audit gateway, with a perf history.
+
+Boots an in-process :class:`repro.gateway.GatewayHTTPServer` over a
+synthetic dataset, drives it with concurrent HTTP clients (a mix of
+synchronous audits and ticketed submit/poll/redeem flows across
+several tenants), provokes and verifies queue-full back-pressure
+(HTTP 429 + ``Retry-After``), and appends one throughput row to the
+``gateway_history`` section of ``BENCH_serve.json``::
+
+    python tools/loadgen.py                    # run + append history
+    python tools/loadgen.py --check            # ... and compare floors
+    BENCH_STRICT=1 python tools/loadgen.py --check   # FAIL on regression
+
+The regression gate mirrors ``tools/bench.py``: the latest row's
+``requests_per_sec`` must stay above ``--threshold`` (default 0.5)
+times the median of the prior rows; violations warn by default and
+fail the process under ``BENCH_STRICT=1`` (or ``--strict``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tools"))
+
+import numpy as np  # noqa: E402
+
+from bench import git_commit, merge_history  # noqa: E402
+
+DEFAULT_OUT = ROOT / "BENCH_serve.json"
+SEED = 29
+
+
+def _request(url: str, method: str, payload=None, timeout=60):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read()), dict(err.headers)
+
+
+def run_load(
+    n_requests: int,
+    n_clients: int,
+    n_points: int,
+    n_worlds: int,
+    queue_size: int,
+) -> dict:
+    """Drive one load session; returns the gateway_history row."""
+    from repro.gateway import AuditGateway, GatewayHTTPServer
+
+    rng = np.random.default_rng(SEED)
+    coords = rng.random((n_points, 2))
+    outcomes = (rng.random(n_points) < 0.5).astype(np.int8)
+    gateway = AuditGateway(queue_size=queue_size)
+    gateway.register("load", coords, outcomes)
+    server = GatewayHTTPServer(gateway, port=0)
+    server.start()
+    url = server.url
+
+    spec = {
+        "regions": {"kind": "grid", "nx": 6, "ny": 6},
+        "n_worlds": n_worlds,
+        "seed": 1,
+    }
+
+    # Phase 1: provoke back-pressure — fill the queue with unredeemed
+    # tickets, then confirm the next submit is refused with 429 +
+    # Retry-After, then redeem everything.
+    tickets = []
+    for i in range(queue_size):
+        status, body, _ = _request(
+            f"{url}/audit",
+            "POST",
+            {
+                "dataset": "load",
+                "spec": dict(spec, seed=100 + i),
+                "wait": False,
+            },
+        )
+        assert status == 202, (status, body)
+        tickets.append(body["ticket"])
+    status, body, headers = _request(
+        f"{url}/audit",
+        "POST",
+        {"dataset": "load", "spec": dict(spec, seed=999), "wait": False},
+    )
+    rejections_observed = int(status == 429)
+    retry_after = headers.get("Retry-After")
+    assert status == 429 and retry_after, (status, headers)
+    for ticket in tickets:
+        status, body, _ = _request(f"{url}/tickets/{ticket}", "GET")
+        assert status == 200 and body["done"], (status, body)
+
+    # Phase 2: throughput — n_clients threads, one tenant each,
+    # synchronous audits over a rotating set of seeded specs (cache
+    # hits and misses both occur, as in production).
+    latencies: list = []
+    failures: list = []
+    lock = threading.Lock()
+
+    def client(worker: int):
+        for i in range(n_requests // n_clients):
+            seed = 1 + (worker * 7 + i) % 8
+            t0 = time.perf_counter()
+            status, body, _ = _request(
+                f"{url}/audit",
+                "POST",
+                {
+                    "dataset": "load",
+                    "spec": dict(spec, seed=seed),
+                    "tenant": f"tenant-{worker}",
+                },
+            )
+            elapsed = time.perf_counter() - t0
+            with lock:
+                if status != 200:
+                    failures.append((status, body))
+                else:
+                    latencies.append(elapsed)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(w,))
+        for w in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    stats = gateway.stats()
+    server.stop()
+    gateway.registry.close()
+
+    assert not failures, failures[:3]
+    done = len(latencies)
+    return {
+        "commit": git_commit(),
+        "n_points": n_points,
+        "n_worlds": n_worlds,
+        "n_clients": n_clients,
+        "queue_size": queue_size,
+        "requests_ok": done,
+        "requests_per_sec": round(done / wall, 2) if wall else 0.0,
+        "latency_p50_ms": round(
+            1000 * float(np.median(latencies)), 2
+        ),
+        "latency_max_ms": round(1000 * max(latencies), 2),
+        "rejections_observed": rejections_observed,
+        "retry_after": retry_after,
+        "queue_peak": stats["queue_peak"],
+        "gateway_completed": stats["completed"],
+        "tenants": len(stats["tenants"]),
+        "report_cache_hits": stats["datasets"]["load"][
+            "report_cache_hits"
+        ],
+    }
+
+
+def check_history(history: list, threshold: float) -> list:
+    """Latest ``requests_per_sec`` vs the prior rows' median."""
+    if len(history) < 2:
+        return []
+    latest = history[-1]
+    prior = [
+        r["requests_per_sec"]
+        for r in history[:-1]
+        if "requests_per_sec" in r
+    ]
+    if not prior:
+        return []
+    median = float(np.median(prior))
+    current = latest.get("requests_per_sec", 0.0)
+    if current < threshold * median:
+        return [
+            f"gateway throughput: {current:.2f} req/s vs median "
+            f"{median:.2f} (floor {threshold:.0%})"
+        ]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="HTTP load against the audit gateway; appends a "
+        "gateway_history row to BENCH_serve.json."
+    )
+    parser.add_argument("--requests", type=int, default=24)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--points", type=int, default=20000)
+    parser.add_argument("--worlds", type=int, default=256)
+    parser.add_argument("--queue-size", type=int, default=4)
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help="bench JSON file to append to",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare the new row against the history floor",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on regression even without BENCH_STRICT=1",
+    )
+    parser.add_argument("--threshold", type=float, default=0.5)
+    args = parser.parse_args(argv)
+
+    row = run_load(
+        n_requests=args.requests,
+        n_clients=args.clients,
+        n_points=args.points,
+        n_worlds=args.worlds,
+        queue_size=args.queue_size,
+    )
+    history = merge_history(args.out, "gateway_history", row)
+    print(json.dumps(row, indent=2))
+    print(
+        f"appended gateway_history row #{len(history)} to {args.out}"
+    )
+    if not args.check:
+        return 0
+    problems = check_history(history, args.threshold)
+    if not problems:
+        print("gateway throughput within historical floor")
+        return 0
+    strict = args.strict or os.environ.get("BENCH_STRICT") == "1"
+    for line in problems:
+        print(("FAIL: " if strict else "warn: ") + line)
+    if not strict:
+        print(
+            "(warning only — set BENCH_STRICT=1 or --strict to fail)"
+        )
+    return 1 if strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
