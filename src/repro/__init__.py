@@ -36,12 +36,19 @@ Many datasets and tenants at once go through the gateway
 (:mod:`repro.registry`), spatially tiled membership builds
 (:mod:`repro.tiling`), bounded admission with per-tenant quotas, and
 a stdlib HTTP front door — ``python -m repro serve --port 8080``.
+With ``--store PATH`` the gateway journals every ticket to a durable
+sqlite store (:mod:`repro.ticketstore`): tickets survive restarts and
+journalled-but-unsettled audits are re-run on boot, byte-identical.
+Crash safety is provable on purpose via the deterministic
+fault-injection layer (:mod:`repro.faults`, ``REPRO_FAULTS``).
 
 Module map: :mod:`repro.api` (sessions, reports, the builder),
 :mod:`repro.serve` (batched multi-spec service, fused simulation),
 :mod:`repro.gateway` (multi-tenant front door: back-pressure, asyncio,
 HTTP), :mod:`repro.registry` (shared-memory dataset store),
 :mod:`repro.tiling` (sharded membership builds),
+:mod:`repro.ticketstore` (durable sqlite ticket journal),
+:mod:`repro.faults` (deterministic fault injection),
 :mod:`repro.spec` (declarative audit requests), :mod:`repro.core`
 (family/measure registries, dispatch, legacy auditors, analyses),
 :mod:`repro.engine` (shared parallel Monte Carlo engine),
@@ -117,6 +124,12 @@ from .geometry import (
     scan_centers,
     square_region_set,
 )
+from .faults import (
+    FailPoint,
+    FaultInjected,
+    clear_faults,
+    install_faults,
+)
 from .fingerprint import (
     array_fingerprint,
     dataset_fingerprint,
@@ -130,6 +143,8 @@ from .gateway import (
     GatewayHTTPServer,
     GatewayTicket,
     TenantQuotaError,
+    TicketFailedError,
+    TicketRecoveryError,
     UnknownDatasetError,
     serve_http,
 )
@@ -142,9 +157,10 @@ from .kernels import (
 from .registry import DatasetRegistry, SharedDataset
 from .serve import AuditService, PendingAudit
 from .spec import AuditSpec, RegionSpec
+from .ticketstore import TicketRecord, TicketStore, TicketStoreError
 from .tiling import TileStats, TilingPolicy, tiled_membership
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "AsyncAuditGateway",
@@ -161,6 +177,8 @@ __all__ = [
     "Contribution",
     "DatasetRegistry",
     "FAMILIES",
+    "FailPoint",
+    "FaultInjected",
     "Finding",
     "GatewayDrainingError",
     "GatewayError",
@@ -198,6 +216,11 @@ __all__ = [
     "SpatialFairnessAuditor",
     "StopDecision",
     "TenantQuotaError",
+    "TicketFailedError",
+    "TicketRecord",
+    "TicketRecoveryError",
+    "TicketStore",
+    "TicketStoreError",
     "TileStats",
     "TilingPolicy",
     "UnknownDatasetError",
@@ -205,9 +228,11 @@ __all__ = [
     "array_fingerprint",
     "audit",
     "circle_region_set",
+    "clear_faults",
     "dataset_fingerprint",
     "equal_opportunity",
     "gerrymander_score",
+    "install_faults",
     "log_likelihood_ratio",
     "mean_variance",
     "naive_audit",

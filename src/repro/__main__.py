@@ -29,8 +29,11 @@ changed are re-run at each step
 registers a named dataset in a shared-memory
 :class:`repro.registry.DatasetRegistry`, ``--queue-size`` /
 ``--tenant-quota`` bound admission (rejections are HTTP 429 with
-``Retry-After``), ``--tiles NXxNY`` shards membership builds, and
-SIGTERM/SIGINT drain in-flight audits before exit.
+``Retry-After``), ``--tiles NXxNY`` shards membership builds,
+``--store PATH`` journals every ticket to a sqlite file (tickets
+survive restarts; journalled-but-unsettled audits are re-run on boot,
+see :mod:`repro.ticketstore`), and SIGTERM/SIGINT drain in-flight
+audits before exit.
 
 The ``.npz`` archive must hold ``coords`` (an ``(n, 2)`` float array)
 and the outcomes under ``outcomes`` (aliases ``y_pred``, ``labels`` or
@@ -291,6 +294,11 @@ def main(argv: list | None = None) -> int:
         help="kernel backend (default: REPRO_BACKEND env or 'auto')",
     )
     serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="sqlite ticket journal; tickets survive restarts and "
+        "journalled-but-unsettled audits are re-run on boot",
+    )
+    serve.add_argument(
         "--verbose", action="store_true",
         help="log each HTTP request to stderr",
     )
@@ -429,6 +437,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: register the ``--data`` datasets,
     boot the HTTP gateway, block until SIGTERM/SIGINT, drain."""
     from .gateway import AuditGateway, serve_http
+    from .ticketstore import TicketStore, TicketStoreError
     from .tiling import TilingPolicy
 
     tiling = None
@@ -444,12 +453,20 @@ def _run_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    store = None
+    if args.store is not None:
+        try:
+            store = TicketStore(args.store)
+        except TicketStoreError as exc:
+            print(f"cannot open ticket store: {exc}", file=sys.stderr)
+            return 2
     try:
         gateway = AuditGateway(
             queue_size=args.queue_size,
             tenant_quota=args.tenant_quota,
             workers=args.workers,
             tiling=tiling,
+            store=store,
         )
     except ValueError as exc:
         print(f"invalid gateway options: {exc}", file=sys.stderr)
@@ -478,6 +495,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(
             f"registered dataset {name!r} "
             f"({len(arrays['coords'])} points)",
+            file=sys.stderr,
+        )
+
+    if store is not None:
+        summary = gateway.recover()
+        print(
+            "ticket store {!r}: {replayed} unsettled ticket(s) "
+            "replayed ({recovered} recovered, {failed} failed)".format(
+                args.store, **summary
+            ),
             file=sys.stderr,
         )
 

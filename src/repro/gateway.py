@@ -31,10 +31,21 @@ queue depth and peak, admission rejections, per-tenant counters,
 end-to-end latency and per-dataset shard utilization for dashboards;
 ``tools/loadgen.py`` appends them as ``gateway_history`` rows to
 ``BENCH_serve.json``.
+
+Crash safety: constructed with ``store=`` (a
+:class:`repro.ticketstore.TicketStore` or a path), the gateway
+journals every submit *before* work starts and every settle after,
+``ticket()`` falls back to the journal after a restart
+(:class:`StoredTicket`), and :meth:`AuditGateway.recover` replays
+journalled-but-unsettled tickets on boot — guarded by the stored
+dataset fingerprint, so a recovered report is byte-identical to what
+the crashed run would have produced (asserted under injected crashes
+in ``tests/test_faults.py``).
 """
 
 from __future__ import annotations
 
+import copy
 import itertools
 import json
 import threading
@@ -43,9 +54,11 @@ from typing import Sequence
 
 import numpy as np
 
+from .faults import fault_point
 from .registry import DatasetRegistry
 from .serve import AuditService, PendingAudit
 from .spec import AuditSpec
+from .ticketstore import TicketRecord, TicketStore, TicketStoreError
 from .tiling import TilingPolicy
 
 __all__ = [
@@ -54,7 +67,11 @@ __all__ = [
     "GatewayFullError",
     "TenantQuotaError",
     "GatewayDrainingError",
+    "TicketFailedError",
+    "TicketRecoveryError",
     "GatewayTicket",
+    "StoredReport",
+    "StoredTicket",
     "AuditGateway",
     "AsyncAuditGateway",
     "GatewayHTTPServer",
@@ -109,6 +126,125 @@ class GatewayDrainingError(GatewayError):
     """The gateway is shutting down and refuses new work (503)."""
 
     http_status = 503
+
+
+class TicketFailedError(GatewayError):
+    """A journalled ticket settled as failed; refetching it replays
+    the recorded typed failure instead of hanging or guessing (500).
+
+    Attributes
+    ----------
+    error_type : str
+        Type name of the original failure.
+    """
+
+    http_status = 500
+
+    def __init__(self, ticket_id: str, error_type: str, error: str):
+        super().__init__(
+            f"ticket {ticket_id} failed: {error_type}: {error}"
+        )
+        self.error_type = error_type
+
+
+class TicketRecoveryError(GatewayError):
+    """A journalled ticket is not redeemable right now (503): either
+    recovery has not replayed it yet, or it can never be recovered
+    (dataset missing or its content changed since the crash)."""
+
+    http_status = 503
+
+
+class StoredReport:
+    """An :class:`repro.api.AuditReport` payload rehydrated from the
+    ticket store after a restart.
+
+    Duck-types the report surface the HTTP layer and most clients
+    need; the payload is exactly the ``to_dict(full=True)`` dict the
+    original (or recovered) run journalled, so serving it preserves
+    byte-identity with the pre-crash response.
+    """
+
+    def __init__(self, payload: dict):
+        self._payload = payload
+
+    def to_dict(self, full: bool = True) -> dict:
+        """The journalled report payload (always the ``full=True``
+        form, whatever ``full`` is passed)."""
+        return copy.deepcopy(self._payload)
+
+    @property
+    def p_value(self) -> float:
+        """Monte Carlo p-value of the scan maximum."""
+        return self._payload["p_value"]
+
+    @property
+    def is_fair(self) -> bool:
+        """Verdict: ``True`` when fairness cannot be rejected."""
+        return self._payload["verdict"] == "fair"
+
+
+class StoredTicket:
+    """A ticket served from the persistent journal (post-restart).
+
+    Returned by :meth:`AuditGateway.ticket` when the id is absent
+    from the in-memory table but present in the store.  Settled
+    tickets redeem immediately (:class:`StoredReport` on success, the
+    replayed :class:`TicketFailedError` on failure); a ticket still
+    awaiting recovery raises :class:`TicketRecoveryError` so clients
+    retry instead of hanging.
+
+    Attributes
+    ----------
+    id : str
+    dataset : str
+    tenant : str
+    record : TicketRecord
+        The underlying journal row.
+    """
+
+    def __init__(self, record: TicketRecord):
+        self.record = record
+        self.id = record.id
+        self.dataset = record.dataset
+        self.tenant = record.tenant
+
+    def done(self) -> bool:
+        """Whether the journalled ticket reached a terminal state."""
+        return self.record.settled
+
+    def result(self, timeout: float | None = None):
+        """Redeem the journalled outcome.
+
+        Parameters
+        ----------
+        timeout : float, optional
+            Ignored — a stored ticket never blocks.
+
+        Returns
+        -------
+        StoredReport
+
+        Raises
+        ------
+        TicketFailedError
+            The ticket settled as failed; the original typed error is
+            replayed.
+        TicketRecoveryError
+            The ticket is journalled but not yet recovered.
+        """
+        record = self.record
+        if record.state == "done":
+            return StoredReport(record.report)
+        if record.state == "failed":
+            raise TicketFailedError(
+                record.id, record.error_type or "Exception",
+                record.error or "",
+            )
+        raise TicketRecoveryError(
+            f"ticket {record.id} is journalled but not yet "
+            "recovered; retry once the gateway finishes recovery"
+        )
 
 
 class GatewayTicket:
@@ -219,6 +355,13 @@ class AuditGateway:
         Per-dataset service report-cache size.
     use_shared_memory : bool, default True
         Passed to the owned registry when ``registry`` is omitted.
+    store : TicketStore or str, optional
+        Durable ticket journal (:mod:`repro.ticketstore`); a path
+        opens one.  With a store, every submit is journalled before
+        work starts, settles are written through, ticket ids are
+        allocated from the journal (unique across restarts),
+        :meth:`ticket` falls back to the journal, and
+        :meth:`recover` replays unsettled tickets on boot.
     """
 
     def __init__(
@@ -230,6 +373,7 @@ class AuditGateway:
         tiling: TilingPolicy | None = None,
         cache_size: int = 128,
         use_shared_memory: bool = True,
+        store: TicketStore | str | None = None,
     ):
         if int(queue_size) < 1:
             raise ValueError(
@@ -252,6 +396,11 @@ class AuditGateway:
         self.workers = workers
         self.tiling = tiling
         self.cache_size = int(cache_size)
+        if store is not None and not isinstance(store, TicketStore):
+            store = TicketStore(store)
+        self.store = store
+        self._store_errors = 0
+        self._recovery: dict | None = None
         self._services: dict = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -364,6 +513,31 @@ class AuditGateway:
         else:
             self._completed += 1
             tenant["completed"] += 1
+        self._journal_settle(ticket)
+
+    def _journal_settle(self, ticket: GatewayTicket) -> None:
+        """Write a resolved ticket's outcome through to the store;
+        caller holds the lock.  A journal write failure degrades to a
+        counter (the report itself is still served) — except an
+        injected ``exit`` fault, which kills the process as designed.
+        """
+        if self.store is None:
+            return
+        error = ticket._pending._error
+        try:
+            if error is not None:
+                self.store.record_settle(
+                    ticket.id,
+                    error_type=type(error).__name__,
+                    error=str(error),
+                )
+            else:
+                self.store.record_settle(
+                    ticket.id,
+                    report=ticket._pending._report.to_dict(full=True),
+                )
+        except TicketStoreError:
+            self._store_errors += 1
 
     def _settle(self, ticket: GatewayTicket, error: bool) -> None:
         """Ticket-side notification that a result was redeemed."""
@@ -405,7 +579,11 @@ class AuditGateway:
             This tenant holds ``tenant_quota`` in-flight audits.
         UnknownDatasetError
             The dataset name is not registered.
+        TicketStoreError
+            The admission could not be journalled (store-backed
+            gateways refuse work they cannot make durable).
         """
+        fault_point("gateway.submit")
         service = self.service(dataset)
         with self._lock:
             if self._draining:
@@ -441,12 +619,36 @@ class AuditGateway:
                     "in-flight audits",
                     retry_after=1.0,
                 )
-            ticket_id = f"t-{next(self._ids)}"
+            if self.store is None:
+                ticket_id = f"t-{next(self._ids)}"
+        if self.store is not None:
+            # Journal the admission before any work starts: a crash
+            # from here on can never lose an id the client was given
+            # (the id is allocated by the journal insert itself, so
+            # ids stay unique and monotone across restarts).
+            ticket_id = self.store.record_submit(
+                dataset,
+                tenant,
+                spec.to_json(),
+                self.registry.get(dataset).fingerprint,
+            )
         # Service submission validates the spec outside the gateway
         # lock (it only takes the service's own lock).
         try:
             pending = service.submit(spec)
-        except Exception:
+        except Exception as exc:
+            # The admission is journalled but the spec never ran;
+            # settle it as failed so recovery will not replay it.
+            if self.store is not None:
+                try:
+                    self.store.record_settle(
+                        ticket_id,
+                        error_type=type(exc).__name__,
+                        error=str(exc),
+                    )
+                except TicketStoreError:
+                    with self._lock:
+                        self._store_errors += 1
             raise
         ticket = GatewayTicket(
             self, ticket_id, dataset, tenant, pending
@@ -466,8 +668,17 @@ class AuditGateway:
                 self._tickets.pop(next(iter(self._tickets)))
         return ticket
 
-    def ticket(self, ticket_id: str) -> GatewayTicket:
+    def ticket(self, ticket_id: str):
         """Look an admitted ticket up by id (the HTTP handle).
+
+        With a store, an id absent from the in-memory table (expired,
+        or admitted by a previous — possibly crashed — process) is
+        served from the journal as a :class:`StoredTicket`; every
+        successful lookup is journalled as a fetch.
+
+        Returns
+        -------
+        GatewayTicket or StoredTicket
 
         Raises
         ------
@@ -476,8 +687,23 @@ class AuditGateway:
         """
         with self._lock:
             ticket = self._tickets.get(ticket_id)
+        if ticket is None and self.store is not None:
+            try:
+                record = self.store.get(ticket_id)
+            except TicketStoreError:
+                record = None
+            if record is not None:
+                ticket = StoredTicket(record)
         if ticket is None:
             raise KeyError(f"unknown ticket {ticket_id!r}")
+        if self.store is not None:
+            # The fetch journal is an access log: losing an entry
+            # must not fail the read itself.
+            try:
+                self.store.record_fetch(ticket_id)
+            except TicketStoreError:
+                with self._lock:
+                    self._store_errors += 1
         return ticket
 
     # -- execution -----------------------------------------------------
@@ -562,6 +788,95 @@ class AuditGateway:
 
     # -- lifecycle -----------------------------------------------------
 
+    def recover(self) -> dict:
+        """Replay journalled-but-unsettled tickets after a restart.
+
+        For every ``'submitted'`` row in the store: if the row's
+        dataset is registered *and* its content fingerprint equals
+        the journalled one, the spec is re-run (fused per dataset,
+        bypassing the admission queue — recovery is boot-time work,
+        not tenant traffic) and the report journalled with
+        ``recovered=True``; the deterministic engine plus the
+        fingerprint guard make that report **byte-identical** to the
+        one the crashed run would have produced.  Rows whose dataset
+        is missing or changed settle as failed with a
+        ``TicketRecoveryError`` — clients get a typed answer, never a
+        silent loss.  Idempotent: settled rows are never touched
+        (first settle wins in the store).
+
+        Returns
+        -------
+        dict
+            ``replayed`` (rows considered), ``recovered`` (reports
+            produced) and ``failed`` counts; all zero without a
+            store.
+        """
+        summary = {"replayed": 0, "recovered": 0, "failed": 0}
+        if self.store is None:
+            return summary
+        pending = self.store.unsettled()
+        summary["replayed"] = len(pending)
+        by_dataset: dict = {}
+        for record in pending:
+            by_dataset.setdefault(record.dataset, []).append(record)
+
+        def _fail(record, error_type, message):
+            self.store.record_settle(
+                record.id,
+                error_type=error_type,
+                error=message,
+                recovered=True,
+            )
+            summary["failed"] += 1
+
+        for dataset, records in by_dataset.items():
+            try:
+                shared = self.registry.get(dataset)
+            except KeyError:
+                for record in records:
+                    _fail(
+                        record,
+                        "TicketRecoveryError",
+                        f"dataset {dataset!r} not registered after "
+                        "restart",
+                    )
+                continue
+            service = self.service(dataset)
+            replay = []
+            for record in records:
+                if record.fingerprint != shared.fingerprint:
+                    _fail(
+                        record,
+                        "TicketRecoveryError",
+                        f"dataset {dataset!r} content changed since "
+                        "the ticket was journalled (fingerprint "
+                        "mismatch)",
+                    )
+                    continue
+                try:
+                    spec = AuditSpec.from_json(record.spec)
+                    replay.append((record, service.submit(spec)))
+                except Exception as exc:
+                    _fail(record, type(exc).__name__, str(exc))
+            if not replay:
+                continue
+            service.gather()
+            for record, pending_audit in replay:
+                try:
+                    report = pending_audit.result()
+                except Exception as exc:
+                    _fail(record, type(exc).__name__, str(exc))
+                else:
+                    self.store.record_settle(
+                        record.id,
+                        report=report.to_dict(full=True),
+                        recovered=True,
+                    )
+                    summary["recovered"] += 1
+        with self._lock:
+            self._recovery = dict(summary)
+        return summary
+
     def drain(self, timeout: float | None = None) -> int:
         """Stop admitting, finish everything already in flight.
 
@@ -599,8 +914,11 @@ class AuditGateway:
             return self._draining
 
     def close(self) -> None:
-        """Drain, then release the registry's shared memory."""
+        """Drain, close the ticket store (if any), then release the
+        registry's shared memory."""
         self.drain()
+        if self.store is not None:
+            self.store.close()
         self.registry.close()
 
     # -- observability -------------------------------------------------
@@ -616,9 +934,12 @@ class AuditGateway:
             ``rejected_draining``), ``queue_depth`` / ``queue_peak`` /
             ``queue_size``, latency aggregates over redeemed audits
             (``latency_avg_ms`` / ``latency_max_ms``), ``draining``,
-            per-``tenants`` buckets, the ``registry`` stats, and one
+            per-``tenants`` buckets, the ``registry`` stats, one
             ``datasets`` entry per active service (its service
-            counters plus ``shard_stats`` utilization).
+            counters plus ``shard_stats`` utilization), and ``store``
+            — the ticket journal's counters plus ``write_errors`` and
+            the boot-time ``recovery`` summary (``None`` when the
+            gateway runs without a store).
         """
         with self._lock:
             depth = self._reap()
@@ -627,6 +948,10 @@ class AuditGateway:
                 for name, bucket in self._per_tenant.items()
             }
             services = dict(self._services)
+            store_errors = self._store_errors
+            recovery = (
+                dict(self._recovery) if self._recovery else None
+            )
             avg_ms = (
                 1000.0 * self._latency_total / self._latency_count
                 if self._latency_count
@@ -658,6 +983,14 @@ class AuditGateway:
             }
             for name, service in services.items()
         }
+        if self.store is not None:
+            out["store"] = {
+                **self.store.stats(),
+                "write_errors": store_errors,
+                "recovery": recovery,
+            }
+        else:
+            out["store"] = None
         return out
 
 

@@ -34,6 +34,7 @@ import threading
 import numpy as np
 
 from .api import AuditSession
+from .faults import fault_point
 from .fingerprint import dataset_fingerprint
 from .tiling import TilingPolicy
 
@@ -46,6 +47,7 @@ def _share_array(arr: np.ndarray):
     (1-byte) segment so close/unlink stays uniform."""
     from multiprocessing import shared_memory
 
+    fault_point("registry.attach")
     arr = np.ascontiguousarray(arr)
     shm = shared_memory.SharedMemory(
         create=True, size=max(arr.nbytes, 1)

@@ -54,6 +54,7 @@ from typing import Sequence
 
 from .api import AuditReport, AuditSession, ResolvedSpec
 from .core import FAMILIES, _parse_direction
+from .faults import fault_point
 from .fingerprint import array_fingerprint, combine_fingerprints
 from .geometry import Rect
 from .spec import AuditSpec
@@ -436,6 +437,7 @@ class AuditService:
                 "alphas": [float(r.spec.alpha) for r in resolutions],
             }
         try:
+            fault_point("serve.run_group")
             nulls = first.engine.null_distribution_multi(
                 [r.member for r in resolutions],
                 first.kernel,

@@ -4,12 +4,59 @@ Everything here is deliberately small: the whole suite must stay fast
 (no Monte Carlo run uses more than 49 worlds), so the datasets are a
 few hundred points with one strongly biased region that 49 worlds
 detect reliably.
+
+A per-test watchdog (stdlib :mod:`faulthandler`) guards the whole
+suite: a deadlocked gateway/drain/chaos test dumps every thread's
+stack and kills the process after ``REPRO_TEST_TIMEOUT`` seconds
+(default 180) instead of stalling the CI job until its global
+timeout.
 """
+
+import faulthandler
+import os
 
 import numpy as np
 import pytest
 
 from repro.geometry import GridPartitioning, Rect, partition_region_set
+
+#: Per-test watchdog budget in seconds (override via env; generous —
+#: it exists to catch hangs, not slow tests).
+TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    """Fail a deadlocked test fast, with a stack dump of every thread.
+
+    Arms :func:`faulthandler.dump_traceback_later` around each test:
+    if the test (plus teardown) exceeds ``TEST_TIMEOUT`` seconds the
+    interpreter prints all thread stacks to stderr and exits — CI
+    shows *where* the hang is instead of a silent job timeout.  The
+    timer is cancelled on normal completion, so passing tests pay one
+    timer arm/cancel each.
+    """
+    if TEST_TIMEOUT > 0:
+        faulthandler.dump_traceback_later(TEST_TIMEOUT, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+
+
+@pytest.fixture(autouse=True)
+def _isolate_faults():
+    """Restore the process-wide fault plan after every test.
+
+    Tests arm fail points with ``install_faults``; restoring the
+    previous registry (rather than clearing) keeps a CI-level
+    ``REPRO_FAULTS`` plan active across the rest of the run.
+    """
+    from repro import faults
+
+    before = faults.active_faults()
+    yield
+    faults._ACTIVE = before
 
 #: The unit-test Monte Carlo budget (keep <= 49 per the suite rules).
 N_WORLDS = 49

@@ -32,6 +32,8 @@ MODULES = [
     "repro.api",
     "repro.serve",
     "repro.gateway",
+    "repro.ticketstore",
+    "repro.faults",
     "repro.registry",
     "repro.tiling",
     "repro.spec",

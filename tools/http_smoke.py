@@ -12,7 +12,14 @@ lifecycle over HTTP exactly as a tenant would:
    ``wait=0`` poll must report not-done, redeeming the tickets must
    free the queue;
 4. a fused batch (``POST /batch``) and a ``GET /stats`` sanity check;
-5. SIGTERM — the server must drain and exit 0.
+5. SIGTERM — the server must drain and exit 0;
+6. restart-and-refetch: a second server over the same ``--store``
+   journal must serve a pre-restart ticket byte-identically.
+
+Every subprocess is killed in a ``finally`` block — a failed
+assertion can never leave an orphan server holding the CI port — and
+the announce-line read is bounded, so a server that hangs on boot
+fails the smoke test instead of wedging it.
 
 Exit code 0 means every step held.  Run it from the repo root::
 
@@ -27,6 +34,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -39,6 +47,7 @@ import numpy as np  # noqa: E402
 N_POINTS = 800
 N_WORLDS = 64
 QUEUE_SIZE = 3
+ANNOUNCE_TIMEOUT = 90.0
 SPEC = {
     "regions": {"kind": "grid", "nx": 4, "ny": 4},
     "n_worlds": N_WORLDS,
@@ -61,36 +70,75 @@ def expect(condition: bool, message: str) -> None:
         raise SystemExit(f"SMOKE FAIL: {message}")
 
 
+def read_announce(proc, timeout: float = ANNOUNCE_TIMEOUT) -> str:
+    """Read the ``listening on URL`` line with a hard deadline, so a
+    server that wedges on boot fails fast instead of blocking the
+    smoke test on an unbounded ``readline()``."""
+    box = {}
+
+    def _reader():
+        box["line"] = proc.stdout.readline().strip()
+
+    thread = threading.Thread(target=_reader, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    announce = box.get("line", "")
+    expect(
+        announce.startswith("listening on http://"),
+        f"bad/late announce line: {announce!r}",
+    )
+    return announce.split()[-1]
+
+
+def start_server(procs: list, data_path: str, *extra_args: str):
+    """Boot one serve subprocess, tracked in ``procs`` for cleanup."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--data", f"city={data_path}",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+    procs.append(proc)
+    return proc, read_announce(proc)
+
+
+def stop_server(proc) -> str:
+    """SIGTERM the server, expect a clean drain; returns stderr."""
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=60)
+    expect(
+        proc.returncode == 0,
+        f"exit code {proc.returncode}; stderr: {err[-500:]}",
+    )
+    expect("drained" in err, f"no drain notice: {err[-200:]}")
+    return err
+
+
 def main() -> int:
     rng = np.random.default_rng(11)
     coords = rng.random((N_POINTS, 2))
     outcomes = (rng.random(N_POINTS) < 0.5).astype(np.int8)
 
+    procs: list = []
     with tempfile.TemporaryDirectory() as tmp:
         data_path = os.path.join(tmp, "city.npz")
+        store_path = os.path.join(tmp, "tickets.sqlite")
         np.savez(data_path, coords=coords, outcomes=outcomes)
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(ROOT / "src")
-        proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--port", "0",
-                "--data", f"city={data_path}",
-                "--queue-size", str(QUEUE_SIZE),
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=env,
-            cwd=ROOT,
-        )
         try:
-            announce = proc.stdout.readline().strip()
-            expect(
-                announce.startswith("listening on http://"),
-                f"bad announce line: {announce!r}",
+            proc, url = start_server(
+                procs, data_path,
+                "--queue-size", str(QUEUE_SIZE),
+                "--store", store_path,
             )
-            url = announce.split()[-1]
             print(f"[smoke] server up at {url}")
 
             # 1. register a second dataset + list both.
@@ -130,6 +178,8 @@ def main() -> int:
                 == json.dumps(solo.to_dict(full=True), sort_keys=True),
                 "HTTP report differs from in-process run",
             )
+            saved_ticket = body["ticket"]
+            saved_payload = json.dumps(body["report"], sort_keys=True)
             print("[smoke] synchronous audit bit-identical")
 
             # 3. ticketed flow + honest back-pressure.
@@ -218,27 +268,51 @@ def main() -> int:
                 "batcher" in stats["tenants"],
                 f"tenants: {list(stats['tenants'])}",
             )
+            expect(
+                stats["store"] is not None
+                and stats["store"]["done"] >= 1,
+                f"store stats: {stats.get('store')}",
+            )
             print(
                 "[smoke] stats: "
                 f"completed={stats['completed']} "
                 f"rejected_full={stats['rejected_full']} "
-                f"queue_peak={stats['queue_peak']}"
+                f"queue_peak={stats['queue_peak']} "
+                f"journalled={stats['store']['tickets']}"
             )
 
             # 5. graceful drain on SIGTERM.
-            proc.send_signal(signal.SIGTERM)
-            out, err = proc.communicate(timeout=60)
-            expect(
-                proc.returncode == 0,
-                f"exit code {proc.returncode}; stderr: {err[-500:]}",
+            stop_server(proc)
+            print("[smoke] SIGTERM drain clean")
+
+            # 6. restart-and-refetch: the journal must serve a
+            # pre-restart ticket byte-identically.
+            proc2, url2 = start_server(
+                procs, data_path, "--store", store_path
             )
-            expect("drained" in err, f"no drain notice: {err[-200:]}")
-            print("[smoke] SIGTERM drain clean — all checks passed")
+            status, body, _ = request(
+                f"{url2}/tickets/{saved_ticket}"
+            )
+            expect(
+                status == 200 and body["done"],
+                f"refetch after restart: {status} {body}",
+            )
+            expect(
+                json.dumps(body["report"], sort_keys=True)
+                == saved_payload,
+                "post-restart report differs from pre-restart one",
+            )
+            stop_server(proc2)
+            print(
+                "[smoke] restart-and-refetch byte-identical — "
+                "all checks passed"
+            )
             return 0
         finally:
-            if proc.poll() is None:
-                proc.kill()
-                proc.communicate(timeout=10)
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.communicate(timeout=10)
 
 
 if __name__ == "__main__":
